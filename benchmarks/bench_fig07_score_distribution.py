@@ -1,0 +1,26 @@
+"""Figure 7 — score distribution of scored Allen predicates on synthetic data.
+
+Paper setting: |Ci| = 1e4, parameters P1, all |C1| x |C2| pairs scored, the score of
+the top-50 000 results plotted per predicate.  Expected shape: s-before has by far
+the most high-scoring results, then s-overlaps, then s-meets, then s-starts.
+"""
+
+from repro.experiments import figure7_score_distribution
+
+SIZE = 600
+RANKS = (1, 10, 100, 1_000, 10_000, 50_000)
+
+
+def bench_figure7(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: figure7_score_distribution(size=SIZE, ranks=RANKS),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig07_score_distribution", table)
+
+    perfect = dict(zip(table.column("predicate"), table.column("perfect_scores")))
+    # The ordering of high-scoring result counts reported in the paper.
+    assert perfect["s-before"] > perfect["s-overlaps"]
+    assert perfect["s-overlaps"] >= perfect["s-meets"]
+    assert perfect["s-meets"] >= perfect["s-starts"]

@@ -1,0 +1,32 @@
+"""Figure 8 — workload distribution: DTB against the LPT baseline.
+
+Paper setting: |Ci| in [1M, 1.6M], g = 20, k = 1000, parameters P2, loose strategy.
+Expected shape: identical times on Qb,b (a single bucket combination); on the other
+queries DTB shuffles less data than LPT and keeps the slowest reducer shorter,
+and the minimum k-th-result score across reducers is at least as high with DTB.
+"""
+
+from repro.experiments import figure8_workload_distribution
+
+SIZES = (300, 500)
+QUERIES = ("Qb,b", "Qo,o", "Qf,f", "Qs,s", "Qs,f,m")
+K = 100
+GRANULES = 12
+
+
+def bench_figure8(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: figure8_workload_distribution(
+            sizes=SIZES, queries=QUERIES, k=K, num_granules=GRANULES
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig08_workload_distribution", table)
+
+    # Shuffle cost (the paper reports LPT shuffling ~43% more on average): compare
+    # the aggregate shuffle volume of the two assignment policies.
+    shuffle = {"DTB": 0.0, "LPT": 0.0}
+    for row in table.rows:
+        shuffle[row["assigner"]] += row["shuffle_records"]
+    assert shuffle["DTB"] <= shuffle["LPT"]

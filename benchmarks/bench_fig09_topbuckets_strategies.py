@@ -1,0 +1,38 @@
+"""Figure 9 — TopBuckets strategies (brute-force, two-phase, loose) on Qb*, Qo*, Qm*.
+
+Paper setting: |Ci| = 2e5, g = 15, k = 100, P1, n in 3..5.  Expected shape: the
+TopBuckets phase of brute-force grows rapidly with n (the solver bounds every
+n-tuple of buckets); loose stays cheap because only bucket *pairs* are bounded;
+two-phase only helps on Qb* where the loose phase prunes almost everything.
+"""
+
+from repro.experiments import figure9_topbuckets_strategies
+
+NUM_VERTICES = (3, 4)
+FAMILIES = ("Qb*", "Qo*", "Qm*")
+SIZE = 200
+GRANULES = 5
+K = 100
+
+
+def bench_figure9(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: figure9_topbuckets_strategies(
+            num_vertices=NUM_VERTICES,
+            families=FAMILIES,
+            size=SIZE,
+            num_granules=GRANULES,
+            k=K,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig09_topbuckets_strategies", table)
+
+    # loose must spend less time in TopBuckets than brute-force for every (family, n).
+    per_config = {}
+    for row in table.rows:
+        per_config[(row["query"], row["n"], row["strategy"])] = row["topbuckets_seconds"]
+    for family in FAMILIES:
+        for n in NUM_VERTICES:
+            assert per_config[(family, n, "loose")] <= per_config[(family, n, "brute-force")]

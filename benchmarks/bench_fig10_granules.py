@@ -1,0 +1,34 @@
+"""Figure 10 — effect of the number of granules g.
+
+Paper setting: |Ci| = 2e6, k = 100, P1, loose, g in [5, 160].  Expected shape: finer
+statistics prune more candidate results and speed up the join, but make the
+TopBuckets phase itself slower; the sweet spot is at an intermediate g (~40 in the
+paper).  Queries with few high-scoring results (Qo,m, Qs,f,m) suffer the most from
+coarse statistics.
+"""
+
+from repro.experiments import figure10_granules
+
+GRANULES = (5, 10, 20, 30)
+QUERIES = ("Qb,b", "Qf,b", "Qo,m")
+SIZE = 500
+K = 100
+
+
+def bench_figure10(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: figure10_granules(granules=GRANULES, queries=QUERIES, size=SIZE, k=K),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig10_granules", table)
+
+    # Finer granularity prunes at least as much of the candidate space on Qo,m
+    # (the query Figure 10c details).
+    qom = {row["g"]: row["pruned_fraction"] for row in table.rows if row["query"] == "Qo,m"}
+    assert qom[max(GRANULES)] >= qom[min(GRANULES)]
+    # TopBuckets gets more expensive as g grows.
+    qom_topbuckets = {
+        row["g"]: row["topbuckets_seconds"] for row in table.rows if row["query"] == "Qo,m"
+    }
+    assert qom_topbuckets[max(GRANULES)] >= qom_topbuckets[min(GRANULES)]

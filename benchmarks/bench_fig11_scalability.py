@@ -1,0 +1,43 @@
+"""Figure 11 — scalability of TKIJ against All-Matrix and RCCIS.
+
+Paper setting: |Ci| in [1M, 5M], g = 40, k = 100; TKIJ with Boolean (PB) and scored
+(P1) parameters against All-Matrix (Qb,b) and RCCIS (Qo,o, Qs,m), all Boolean.
+Expected shape: on Qb,b TKIJ stays nearly flat (TopBuckets selects a single
+combination) while All-Matrix grows with |Ci|; on Qo,o / Qs,m the baselines' cost
+grows with |Ci| because their planning/replication work scales with the input,
+while TKIJ's selection step depends only on the statistics.
+"""
+
+from repro.experiments import figure11_scalability
+
+SIZES = (250, 500, 1_000)
+QUERIES = ("Qb,b", "Qo,o", "Qs,m")
+K = 50
+GRANULES = 10
+
+
+def bench_figure11(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: figure11_scalability(sizes=SIZES, queries=QUERIES, k=K, num_granules=GRANULES),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig11_scalability", table)
+
+    def series(query, system, column):
+        return {
+            row["size"]: row[column]
+            for row in table.rows
+            if row["query"] == query and row["system"] == system
+        }
+
+    # On Qb,b the baseline shuffles (much) more data than TKIJ at the largest size.
+    tkij_shuffle = series("Qb,b", "TKIJ-PB", "shuffle_records")
+    allmatrix_shuffle = series("Qb,b", "All-Matrix-PB", "shuffle_records")
+    assert tkij_shuffle[max(SIZES)] <= allmatrix_shuffle[max(SIZES)]
+    # TKIJ's Qb,b running time grows slower than the baseline's.
+    tkij_time = series("Qb,b", "TKIJ-PB", "total_seconds")
+    allmatrix_time = series("Qb,b", "All-Matrix-PB", "total_seconds")
+    tkij_growth = tkij_time[max(SIZES)] / max(tkij_time[min(SIZES)], 1e-9)
+    baseline_growth = allmatrix_time[max(SIZES)] / max(allmatrix_time[min(SIZES)], 1e-9)
+    assert tkij_growth <= baseline_growth * 2.0

@@ -1,0 +1,32 @@
+"""Figure 12 — distribution of the (simulated) network-trace connections.
+
+Paper data: 3.6M connections built from one day of firewall logs; start points are
+skewed and lengths are heavily right-tailed (min 1 s, avg 54 s, max 86 459 s).  The
+simulated trace must show the same qualitative marginals.
+"""
+
+import numpy as np
+
+from repro.datagen import NetworkTraceConfig, generate_network_collection
+from repro.experiments import figure12_network_distribution
+
+CONFIG = NetworkTraceConfig(num_sessions=4_000)
+
+
+def bench_figure12(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: figure12_network_distribution(CONFIG, seed=13),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig12_network_distribution", table)
+
+    collection = generate_network_collection(CONFIG, seed=13)
+    lengths = collection.ends - collection.starts
+    # Heavy right tail: the longest connection dwarfs the average, and the bulk of
+    # connections sit in the shortest length decile (Figure 12b is log-scale).
+    assert lengths.max() > 10 * lengths.mean()
+    assert np.percentile(lengths, 75) < lengths.mean() * 2
+    # Start points are skewed: the busiest decile holds more than a uniform share.
+    histogram, _ = np.histogram(collection.starts, bins=10)
+    assert histogram.max() > 1.3 * len(collection) / 10

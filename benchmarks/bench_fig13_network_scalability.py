@@ -1,0 +1,38 @@
+"""Figure 13 — scalability on the (simulated) network trace.
+
+Paper setting: samples of 5%-35% of one day of firewall logs (0.58M-2.31M
+connections), g = 40, k = 100, parameters P3, queries including the network-analysis
+predicates QjB,jB and QsM,sM.  Expected shape: running time grows with the sample
+fraction, faster than on synthetic data because larger samples populate more
+buckets (more non-empty bucket combinations for TopBuckets to process), and the
+query with the most predicates (Qs,f,m) is dominated by TopBuckets.
+"""
+
+from repro.datagen import NetworkTraceConfig
+from repro.experiments import figure13_network_scalability
+
+CONFIG = NetworkTraceConfig(num_sessions=1_200)
+FRACTIONS = (0.5, 1.0)
+QUERIES = ("Qb,b", "Qo,m", "QjB,jB", "QsM,sM")
+K = 100
+GRANULES = 10
+
+
+def bench_figure13(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: figure13_network_scalability(
+            fractions=FRACTIONS,
+            queries=QUERIES,
+            k=K,
+            num_granules=GRANULES,
+            config=CONFIG,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig13_network_scalability", table)
+
+    # Larger samples populate more bucket combinations (the paper's explanation for
+    # the steeper growth on real data).
+    qbb = {row["fraction"]: row["nonempty_buckets"] for row in table.rows if row["query"] == "Qb,b"}
+    assert qbb[max(FRACTIONS)] >= qbb[min(FRACTIONS)]

@@ -1,0 +1,30 @@
+"""Figure 14 — effect of k on the (simulated) network trace.
+
+Paper setting: |Ci| = 1.03e6 connections, g = 40, P3, k in [10, 1e5].  Expected
+shape: running time is nearly flat for small-to-moderate k and increases slowly for
+very large k as more intermediate results must be materialised before termination.
+"""
+
+from repro.datagen import NetworkTraceConfig
+from repro.experiments import figure14_network_effect_k
+
+CONFIG = NetworkTraceConfig(num_sessions=1_000)
+KS = (10, 100, 1_000)
+QUERIES = ("Qb,b", "Qo,m", "QjB,jB")
+GRANULES = 10
+
+
+def bench_figure14(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: figure14_network_effect_k(
+            ks=KS, queries=QUERIES, num_granules=GRANULES, config=CONFIG
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig14_network_effect_k", table)
+
+    # Moderate k values should not blow up the running time (near-flat curve).
+    for query in QUERIES:
+        times = {row["k"]: row["total_seconds"] for row in table.rows if row["query"] == query}
+        assert times[100] <= times[10] * 5 + 0.5

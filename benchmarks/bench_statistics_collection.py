@@ -1,0 +1,25 @@
+"""Statistics collection time (Section 4, "Statistics collection").
+
+Paper numbers: 28 s for |Ci| = 2e5 up to 36 s for |Ci| = 5e6 on the 6-worker
+cluster — i.e. the offline phase grows slowly and is negligible compared to query
+evaluation.  Expected shape here: near-linear in the input size and much cheaper
+than the join benchmarks.
+"""
+
+from repro.experiments import statistics_collection_times
+
+SIZES = (2_000, 10_000, 40_000)
+GRANULES = 20
+
+
+def bench_statistics_collection(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: statistics_collection_times(sizes=SIZES, num_granules=GRANULES),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("statistics_collection", table)
+
+    seconds = dict(zip(table.column("size"), table.column("seconds")))
+    # Near-linear growth: 20x more data should cost far less than 100x more time.
+    assert seconds[SIZES[-1]] <= max(seconds[SIZES[0]], 1e-3) * 100

@@ -1,0 +1,81 @@
+"""Hybrid query: traffic causality between requests from *different countries*.
+
+This is the motivating query of the paper's introduction: a system administrator
+monitoring traffic between countries wants pairs of requests (x, y) where x ends
+before y starts *and x and y originate from different countries*.  The temporal
+part is scored (pairs where x ends just before y are preferred); the country
+condition is an attribute constraint on the join edge — the "hybrid query"
+extension the paper lists as future work.
+
+Run with:  python examples/cross_country_traffic.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ClusterConfig, PredicateParams, QueryBuilder, TKIJ
+from repro.temporal import AttributeDiffers, Interval, IntervalCollection
+
+
+def simulate_requests(name: str, size: int, seed: int) -> IntervalCollection:
+    """Traffic requests tagged with an origin country."""
+    rng = np.random.default_rng(seed)
+    countries = ["FR", "DE", "IT", "ES", "US"]
+    starts = rng.uniform(0, 20_000, size)
+    lengths = rng.uniform(1, 120, size)
+    intervals = [
+        Interval(
+            uid,
+            float(start),
+            float(start + length),
+            payload={"country": countries[rng.integers(0, len(countries))], "ip": f"10.0.{uid % 256}.{uid // 256}"},
+        )
+        for uid, (start, length) in enumerate(zip(starts, lengths))
+    ]
+    return IntervalCollection(name, intervals)
+
+
+def main() -> None:
+    datacenter_a = simulate_requests("datacenter-A", 1_500, seed=21)
+    datacenter_b = simulate_requests("datacenter-B", 1_500, seed=22)
+
+    # "x ends just before y starts": the gap is scored, with up to 2 time units
+    # counting as an exact handover.
+    params = PredicateParams.of(
+        lambda_equals=2, rho_equals=20, lambda_greater=0, rho_greater=10
+    )
+
+    query = (
+        QueryBuilder(name="cross-country-causality", params=params)
+        .add_collection("x", datacenter_a)
+        .add_collection("y", datacenter_b)
+        .add_predicate("x", "y", "meets", attributes=[AttributeDiffers("country")])
+        .top(10)
+        .build()
+    )
+
+    tkij = TKIJ(num_granules=15, cluster=ClusterConfig(num_reducers=8))
+    report = tkij.execute(query)
+
+    print("Request pairs from different countries where x hands over to y")
+    print("-" * 74)
+    for rank, result in enumerate(report.results, start=1):
+        x = datacenter_a.get(result.uids[0])
+        y = datacenter_b.get(result.uids[1])
+        print(
+            f"{rank:>2}. score={result.score:.3f}  "
+            f"{x.payload['country']} [{x.start:.0f},{x.end:.0f}]  ->  "
+            f"{y.payload['country']} [{y.start:.0f},{y.end:.0f}]"
+        )
+    print()
+    print(
+        "Note: with attribute constraints TKIJ keeps every bucket combination "
+        "(count-based pruning is unsound on hybrid queries); "
+        f"{report.top_buckets.selected_count} combinations were processed in "
+        f"{report.total_seconds:.2f}s."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — reproduction of "Distributed Evaluation of Top-k Temporal Joins" (SIGMOD 2016).
+
+The public API re-exports the pieces most callers need:
+
+* the interval / predicate model (:mod:`repro.temporal`),
+* the query builder (:mod:`repro.query`),
+* the TKIJ evaluator and its configuration (:mod:`repro.core`),
+* workload generators (:mod:`repro.datagen`) and baselines (:mod:`repro.baselines`).
+"""
+
+from .core import TKIJ, LocalJoinConfig, TKIJResult
+from .mapreduce import ClusterConfig
+from .query import QueryBuilder, RTJQuery
+from .temporal import (
+    AverageScore,
+    Interval,
+    IntervalCollection,
+    PredicateParams,
+    ScoredPredicate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TKIJ",
+    "TKIJResult",
+    "LocalJoinConfig",
+    "ClusterConfig",
+    "QueryBuilder",
+    "RTJQuery",
+    "AverageScore",
+    "Interval",
+    "IntervalCollection",
+    "PredicateParams",
+    "ScoredPredicate",
+    "__version__",
+]

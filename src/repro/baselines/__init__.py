@@ -1,0 +1,17 @@
+"""Baselines: naive exact evaluation, All-Matrix and RCCIS Boolean interval joins."""
+
+from .allmatrix import AllMatrixConfig, AllMatrixJoin
+from .common import BaselineResult
+from .naive import all_pair_scores, naive_boolean_matches, naive_top_k
+from .rccis import RCCISConfig, RCCISJoin
+
+__all__ = [
+    "AllMatrixConfig",
+    "AllMatrixJoin",
+    "BaselineResult",
+    "all_pair_scores",
+    "naive_boolean_matches",
+    "naive_top_k",
+    "RCCISConfig",
+    "RCCISJoin",
+]

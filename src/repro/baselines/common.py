@@ -1,0 +1,65 @@
+"""Shared helpers for the Boolean-join baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..mapreduce.cluster import JobMetrics
+from ..query.graph import ResultTuple, RTJQuery
+from ..temporal.interval import Interval
+
+__all__ = ["BaselineResult", "compile_boolean_checker"]
+
+
+def compile_boolean_checker(query: RTJQuery) -> Callable[[Sequence[Interval]], bool]:
+    """A fast conjunction check for the Boolean interpretation of ``query``.
+
+    The returned callable takes one interval per query vertex (in vertex order) and
+    reports whether every edge predicate holds.  Baseline reducers enumerate large
+    cross products, so the per-tuple check is compiled once instead of going through
+    the generic assignment-dictionary path.
+    """
+    position = {vertex: index for index, vertex in enumerate(query.vertices)}
+    compiled = [
+        (position[edge.source], position[edge.target], edge.predicate.compile(), edge.attributes)
+        for edge in query.edges
+    ]
+
+    def check(tuple_: Sequence[Interval]) -> bool:
+        for source_index, target_index, scorer, attributes in compiled:
+            source, target = tuple_[source_index], tuple_[target_index]
+            if scorer(source, target) < 1.0:
+                return False
+            for constraint in attributes:
+                if not constraint.matches(source, target):
+                    return False
+        return True
+
+    return check
+
+
+@dataclass
+class BaselineResult:
+    """Results and per-phase metrics of one baseline execution."""
+
+    name: str
+    results: list[ResultTuple]
+    phase_metrics: list[JobMetrics] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def shuffle_records(self) -> int:
+        """Total records shuffled across all Map-Reduce phases."""
+        return sum(metrics.shuffle_records for metrics in self.phase_metrics)
+
+    def describe(self) -> dict[str, float]:
+        """Flat summary used by the experiment reports."""
+        summary = {
+            "elapsed_seconds": self.elapsed_seconds,
+            "results": float(len(self.results)),
+            "shuffle_records": float(self.shuffle_records),
+        }
+        for index, metrics in enumerate(self.phase_metrics):
+            summary[f"phase{index}_seconds"] = metrics.elapsed_seconds
+        return summary

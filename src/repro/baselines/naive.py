@@ -1,0 +1,94 @@
+"""Naive exact evaluation (correctness oracle and score-distribution probe).
+
+``naive_top_k`` enumerates the full cross product of the query's collections and
+scores every tuple; it is exponential and only usable on small inputs, but it is
+the ground truth every distributed strategy is tested against.  ``all_pair_scores``
+supports the score-distribution experiment of Figure 7, which ranks *all* pairs of
+two collections under a single scored predicate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from ..query.graph import ResultTuple, RTJQuery
+from ..temporal.interval import IntervalCollection
+from ..temporal.predicates import ScoredPredicate
+
+__all__ = ["naive_top_k", "naive_boolean_matches", "all_pair_scores"]
+
+
+def naive_top_k(query: RTJQuery, k: int | None = None) -> list[ResultTuple]:
+    """Exact top-k of an RTJ query by exhaustive enumeration."""
+    k = k if k is not None else query.k
+    heap: list[tuple[float, tuple[int, ...]]] = []
+    vertices = query.vertices
+    position = {vertex: index for index, vertex in enumerate(vertices)}
+    pools = [query.collections[vertex].intervals for vertex in vertices]
+    scorers = [
+        (position[edge.source], position[edge.target], edge.predicate.compile())
+        for edge in query.edges
+    ]
+    filters = [
+        (position[edge.source], position[edge.target], edge.attributes)
+        for edge in query.edges
+        if edge.attributes
+    ]
+    aggregation = query.aggregation
+    for combo in itertools.product(*pools):
+        if filters and any(
+            not constraint.matches(combo[i], combo[j])
+            for i, j, constraints in filters
+            for constraint in constraints
+        ):
+            continue
+        scores = [scorer(combo[i], combo[j]) for i, j, scorer in scorers]
+        score = aggregation.combine(scores)
+        uids = tuple(interval.uid for interval in combo)
+        if len(heap) < k:
+            heapq.heappush(heap, (score, uids))
+        elif score > heap[0][0]:
+            heapq.heapreplace(heap, (score, uids))
+    ordered = sorted(heap, key=lambda item: (-item[0], item[1]))
+    return [ResultTuple(uids=uids, score=score) for score, uids in ordered]
+
+
+def naive_boolean_matches(query: RTJQuery, limit: int | None = None) -> list[ResultTuple]:
+    """All tuples satisfying every Boolean predicate (score 1.0), optionally capped."""
+    matches: list[ResultTuple] = []
+    vertices = query.vertices
+    pools = [query.collections[vertex].intervals for vertex in vertices]
+    for combo in itertools.product(*pools):
+        assignment = dict(zip(vertices, combo))
+        if query.boolean_holds(assignment):
+            matches.append(ResultTuple(tuple(i.uid for i in combo), 1.0))
+            if limit is not None and len(matches) >= limit:
+                break
+    return matches
+
+
+def all_pair_scores(
+    predicate: ScoredPredicate,
+    left: IntervalCollection,
+    right: IntervalCollection,
+    top: int | None = None,
+) -> np.ndarray:
+    """Scores of all (x, y) pairs under one scored predicate, sorted descending.
+
+    Used by the Figure 7 experiment to plot the score of the rank-r result for the
+    four predicates compared in the paper.  ``top`` truncates the returned array.
+    """
+    scorer = predicate.compile()
+    scores = np.empty(len(left) * len(right), dtype=float)
+    position = 0
+    for x in left:
+        for y in right:
+            scores[position] = scorer(x, y)
+            position += 1
+    scores[::-1].sort()
+    if top is not None:
+        return scores[:top]
+    return scores

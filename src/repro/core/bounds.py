@@ -1,0 +1,238 @@
+"""Bucket combinations and their score bounds (TKIJ phase b, part 1).
+
+A *bucket combination* ``ω = (b_1, ..., b_n)`` picks one bucket per query vertex.
+Its cardinality ``ω.nbRes`` is the product of the bucket cardinalities and its
+score bounds ``ω.LB``/``ω.UB`` bracket the aggregate score of every result tuple
+that can be formed from it (Definition 1).  This module enumerates combinations
+and computes their bounds, either per edge (exact per pair of buckets, aggregated
+through the monotone function — the *loose* bounds) or jointly over all vertices
+with the branch-and-bound solver (the *tight* bounds of brute-force / two-phase).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+from ..query.graph import QueryEdge, RTJQuery
+from ..solver import AggregateObjective, BranchAndBoundSolver, DomainSet, EdgeObjective
+from ..solver.domain import VariableBox
+from .statistics import BucketKey, DatasetStatistics
+
+__all__ = [
+    "BucketCombination",
+    "CombinationSpace",
+    "PairwiseBoundsCache",
+    "BoundsEstimator",
+]
+
+
+@dataclass(frozen=True)
+class BucketCombination:
+    """One bucket per query vertex, with cardinality and score bounds."""
+
+    vertices: tuple[str, ...]
+    buckets: tuple[BucketKey, ...]
+    nb_res: int
+    lower_bound: float = 0.0
+    upper_bound: float = 1.0
+    edge_bounds: tuple[tuple[float, float], ...] = ()
+
+    def bucket_of(self, vertex: str) -> BucketKey:
+        """Bucket assigned to ``vertex`` in this combination."""
+        return self.buckets[self.vertices.index(vertex)]
+
+    def bucket_items(self) -> list[tuple[str, BucketKey]]:
+        """``(vertex, bucket)`` pairs of the combination."""
+        return list(zip(self.vertices, self.buckets))
+
+    def with_bounds(
+        self,
+        lower_bound: float,
+        upper_bound: float,
+        edge_bounds: Sequence[tuple[float, float]] | None = None,
+    ) -> "BucketCombination":
+        """Copy with (re)computed bounds."""
+        return replace(
+            self,
+            lower_bound=lower_bound,
+            upper_bound=upper_bound,
+            edge_bounds=tuple(edge_bounds) if edge_bounds is not None else self.edge_bounds,
+        )
+
+    def key(self) -> tuple[tuple[str, BucketKey], ...]:
+        """Hashable identity of the combination (vertex/bucket pairs)."""
+        return tuple(zip(self.vertices, self.buckets))
+
+
+class CombinationSpace:
+    """Enumerates the bucket-combination search space ``Ω`` of a query.
+
+    Only non-empty buckets participate: a combination with an empty bucket cannot
+    produce results.  The per-vertex bucket lists and boxes are cached so that the
+    strategies and the distribution phase can reuse them.
+    """
+
+    def __init__(self, query: RTJQuery, statistics: DatasetStatistics) -> None:
+        self.query = query
+        self.statistics = statistics
+        self._buckets_per_vertex: dict[str, list[BucketKey]] = {}
+        self._counts: dict[tuple[str, BucketKey], int] = {}
+        self._boxes: dict[tuple[str, BucketKey], VariableBox] = {}
+        for vertex in query.vertices:
+            collection_name = query.collections[vertex].name
+            matrix = statistics.matrix(collection_name)
+            keys = matrix.nonempty_buckets()
+            self._buckets_per_vertex[vertex] = keys
+            for key in keys:
+                self._counts[(vertex, key)] = matrix.count(key)
+                self._boxes[(vertex, key)] = matrix.bucket_box(key)
+
+    # ------------------------------------------------------------------ access
+    def buckets_of(self, vertex: str) -> list[BucketKey]:
+        """Non-empty buckets available for ``vertex``."""
+        return self._buckets_per_vertex[vertex]
+
+    def count(self, vertex: str, bucket: BucketKey) -> int:
+        """Cardinality of ``bucket`` for ``vertex``'s collection."""
+        return self._counts[(vertex, bucket)]
+
+    def box(self, vertex: str, bucket: BucketKey) -> VariableBox:
+        """Endpoint box of ``bucket`` for ``vertex``'s collection."""
+        return self._boxes[(vertex, bucket)]
+
+    def size(self) -> int:
+        """|Ω|: the number of combinations that would be enumerated."""
+        size = 1
+        for vertex in self.query.vertices:
+            size *= len(self._buckets_per_vertex[vertex])
+        return size
+
+    # ------------------------------------------------------------- enumeration
+    def enumerate(self) -> Iterator[BucketCombination]:
+        """Yield every combination of non-empty buckets (without bounds)."""
+        vertices = self.query.vertices
+        bucket_lists = [self._buckets_per_vertex[vertex] for vertex in vertices]
+        for buckets in itertools.product(*bucket_lists):
+            nb_res = 1
+            for vertex, bucket in zip(vertices, buckets):
+                nb_res *= self._counts[(vertex, bucket)]
+            yield BucketCombination(vertices, tuple(buckets), nb_res)
+
+    def domain_set(self, combination: BucketCombination) -> DomainSet:
+        """Solver domains of a combination (one box per query vertex)."""
+        boxes = {
+            vertex: self._boxes[(vertex, bucket)]
+            for vertex, bucket in combination.bucket_items()
+        }
+        return DomainSet.from_mapping(boxes)
+
+
+class PairwiseBoundsCache:
+    """Exact score bounds of (edge, bucket pair) combinations — the loose primitives.
+
+    For a single edge the comparator ranges over a pair of boxes are exact per
+    conjunct, so no branching is needed; results are memoised because the same
+    bucket pair is shared by many combinations.
+    """
+
+    def __init__(self, query: RTJQuery, space: CombinationSpace) -> None:
+        self.query = query
+        self.space = space
+        self._edge_objectives = [
+            EdgeObjective.from_edge(edge.source, edge.target, edge.predicate)
+            for edge in query.edges
+        ]
+        self._cache: dict[tuple[int, BucketKey, BucketKey], tuple[float, float]] = {}
+        self.pairs_computed = 0
+
+    def edge_objective(self, edge_index: int) -> EdgeObjective:
+        """Renamed predicate objective of one query edge."""
+        return self._edge_objectives[edge_index]
+
+    def bounds(
+        self, edge_index: int, source_bucket: BucketKey, target_bucket: BucketKey
+    ) -> tuple[float, float]:
+        """Exact (LB, UB) of one edge's score over a pair of buckets."""
+        cache_key = (edge_index, source_bucket, target_bucket)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        edge = self.query.edges[edge_index]
+        domains = DomainSet.from_mapping({
+            edge.source: self.space.box(edge.source, source_bucket),
+            edge.target: self.space.box(edge.target, target_bucket),
+        })
+        bounds = self._edge_objectives[edge_index].score_range(domains.endpoint_domains())
+        self._cache[cache_key] = bounds
+        self.pairs_computed += 1
+        return bounds
+
+    def precompute_all_pairs(self) -> int:
+        """Compute bounds for every bucket pair of every edge (Algorithm 2, lines 1-3)."""
+        for edge_index, edge in enumerate(self.query.edges):
+            for source_bucket in self.space.buckets_of(edge.source):
+                for target_bucket in self.space.buckets_of(edge.target):
+                    self.bounds(edge_index, source_bucket, target_bucket)
+        return self.pairs_computed
+
+
+@dataclass
+class BoundsEstimator:
+    """Computes loose (pairwise) and tight (joint) bounds of bucket combinations."""
+
+    query: RTJQuery
+    space: CombinationSpace
+    solver: BranchAndBoundSolver = field(default_factory=BranchAndBoundSolver)
+
+    def __post_init__(self) -> None:
+        self.pairwise = PairwiseBoundsCache(self.query, self.space)
+        self._objective = AggregateObjective(
+            edges=tuple(
+                EdgeObjective.from_edge(edge.source, edge.target, edge.predicate)
+                for edge in self.query.edges
+            ),
+            aggregation=self.query.aggregation,
+        )
+
+    # ------------------------------------------------------------------ bounds
+    def loose_bounds(self, combination: BucketCombination) -> BucketCombination:
+        """Bounds from per-edge pairwise bounds aggregated through S (loose strategy)."""
+        edge_bounds: list[tuple[float, float]] = []
+        for edge_index, edge in enumerate(self.query.edges):
+            source_bucket = combination.bucket_of(edge.source)
+            target_bucket = combination.bucket_of(edge.target)
+            edge_bounds.append(self.pairwise.bounds(edge_index, source_bucket, target_bucket))
+        lower = self.query.aggregation.lower_bound([b[0] for b in edge_bounds])
+        upper = self.query.aggregation.upper_bound([b[1] for b in edge_bounds])
+        return combination.with_bounds(lower, upper, edge_bounds)
+
+    def tight_bounds(self, combination: BucketCombination) -> BucketCombination:
+        """Joint bounds over all vertices via branch-and-bound (brute-force strategy).
+
+        Per-edge bounds are refreshed with the pairwise cache so that the local join
+        can derive residual thresholds per edge.
+        """
+        domains = self.space.domain_set(combination)
+        lower, upper = self.solver.bounds(self._objective, domains)
+        edge_bounds: list[tuple[float, float]] = []
+        for edge_index, edge in enumerate(self.query.edges):
+            source_bucket = combination.bucket_of(edge.source)
+            target_bucket = combination.bucket_of(edge.target)
+            edge_bounds.append(self.pairwise.bounds(edge_index, source_bucket, target_bucket))
+        # Joint bounds can only be tighter than (or equal to) the aggregated
+        # pairwise bounds; guard against solver budget artefacts.
+        loose_lower = self.query.aggregation.lower_bound([b[0] for b in edge_bounds])
+        loose_upper = self.query.aggregation.upper_bound([b[1] for b in edge_bounds])
+        lower = max(lower, loose_lower)
+        upper = min(upper, loose_upper)
+        if lower > upper:
+            lower = loose_lower
+            upper = loose_upper
+        return combination.with_bounds(lower, upper, edge_bounds)
+
+    @property
+    def objective(self) -> AggregateObjective:
+        """The aggregate objective (shared with the distribution/join phases)."""
+        return self._objective

@@ -1,0 +1,284 @@
+"""Local top-k RTJ evaluation on one reducer (TKIJ phase d).
+
+Each reducer receives a set of bucket combinations and the intervals of the buckets
+they reference, and evaluates the full RTJ query restricted to those combinations.
+Combinations are processed in descending order of score upper bound; once the
+reducer's top-k heap is full and the next combination's upper bound cannot beat the
+current k-th score, the remaining combinations are skipped (early termination).
+
+Inside a combination the query is evaluated left-deep along the query graph's BFS
+join order.  When extending a partial tuple with a new vertex, the residual score
+the connecting edge must reach (for the final aggregate to still beat the current
+k-th score) is derived from the monotone aggregation, and candidate intervals are
+fetched from an R-tree with a score-threshold lookup, mirroring the paper's use of
+R-trees ("for an interval x_i and a score value v, return the x_j with
+s-p(x_i, x_j) >= v").
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..index import CompiledPredicateQuery, ThresholdIndex
+from ..query.graph import QueryEdge, ResultTuple, RTJQuery
+from ..temporal.interval import Interval
+from .bounds import BucketCombination
+from .statistics import BucketKey
+
+__all__ = ["LocalJoinConfig", "LocalJoinStats", "LocalTopKJoin"]
+
+VertexBucket = tuple[str, BucketKey]
+
+
+@dataclass(frozen=True)
+class LocalJoinConfig:
+    """Tuning knobs of the local join (both are ablated in the benchmarks)."""
+
+    use_index: bool = True
+    early_termination: bool = True
+    index_leaf_capacity: int = 32
+
+
+@dataclass
+class LocalJoinStats:
+    """Work counters of one local join execution."""
+
+    combinations_processed: int = 0
+    combinations_skipped: int = 0
+    candidates_examined: int = 0
+    tuples_scored: int = 0
+
+    def merge(self, other: "LocalJoinStats") -> None:
+        self.combinations_processed += other.combinations_processed
+        self.combinations_skipped += other.combinations_skipped
+        self.candidates_examined += other.candidates_examined
+        self.tuples_scored += other.tuples_scored
+
+
+class _TopKHeap:
+    """Fixed-capacity min-heap of result tuples ordered by score."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._heap: list[tuple[float, tuple[int, ...]]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self.capacity
+
+    @property
+    def kth_score(self) -> float:
+        """Score of the current k-th result; 0 while the heap is not full."""
+        if len(self._heap) < self.capacity:
+            return 0.0
+        return self._heap[0][0]
+
+    def offer(self, score: float, uids: tuple[int, ...]) -> None:
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, (score, uids))
+        elif score > self._heap[0][0]:
+            heapq.heapreplace(self._heap, (score, uids))
+
+    def results(self) -> list[ResultTuple]:
+        ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        return [ResultTuple(uids=uids, score=score) for score, uids in ordered]
+
+
+class LocalTopKJoin:
+    """Evaluates an RTJ query over a set of bucket combinations, returning the top-k."""
+
+    def __init__(self, query: RTJQuery, config: LocalJoinConfig | None = None) -> None:
+        self.query = query
+        self.config = config or LocalJoinConfig()
+        self._num_edges = len(query.edges)
+        self._join_order = query.join_order()
+        # Edges resolved when each join-order vertex is bound.
+        self._edges_at: list[list[tuple[int, QueryEdge]]] = []
+        bound: list[str] = []
+        for vertex in self._join_order:
+            connecting = [
+                (index, edge)
+                for index, edge in enumerate(query.edges)
+                if (edge.source == vertex and edge.target in bound)
+                or (edge.target == vertex and edge.source in bound)
+            ]
+            self._edges_at.append(connecting)
+            bound.append(vertex)
+        # Compiled per-edge scorers (hot path) and threshold-box queries (index path).
+        self._scorers = {
+            index: edge.predicate.compile() for index, edge in enumerate(query.edges)
+        }
+        self._threshold_queries: dict[tuple[int, str], CompiledPredicateQuery] = {}
+        for index, edge in enumerate(query.edges):
+            renamed = edge.predicate.rename(edge.source, edge.target)
+            self._threshold_queries[(index, edge.source)] = CompiledPredicateQuery(
+                renamed, fixed_var=edge.source, target_var=edge.target
+            )
+            self._threshold_queries[(index, edge.target)] = CompiledPredicateQuery(
+                renamed, fixed_var=edge.target, target_var=edge.source
+            )
+
+    # ------------------------------------------------------------------ public
+    def run(
+        self,
+        combinations: Sequence[BucketCombination],
+        intervals: Mapping[VertexBucket, Sequence[Interval]],
+        k: int | None = None,
+    ) -> tuple[list[ResultTuple], LocalJoinStats]:
+        """Top-k results over the given combinations and their bucket contents."""
+        k = k if k is not None else self.query.k
+        heap = _TopKHeap(k)
+        stats = LocalJoinStats()
+        index_cache: dict[VertexBucket, ThresholdIndex] = {}
+
+        ordered = sorted(combinations, key=lambda c: (-c.upper_bound, c.key()))
+        for combination in ordered:
+            if (
+                self.config.early_termination
+                and heap.is_full
+                and combination.upper_bound <= heap.kth_score
+            ):
+                stats.combinations_skipped += len(ordered) - stats.combinations_processed
+                break
+            stats.combinations_processed += 1
+            self._process_combination(combination, intervals, heap, stats, index_cache)
+        return heap.results(), stats
+
+    # ----------------------------------------------------------------- internal
+    def _process_combination(
+        self,
+        combination: BucketCombination,
+        intervals: Mapping[VertexBucket, Sequence[Interval]],
+        heap: _TopKHeap,
+        stats: LocalJoinStats,
+        index_cache: dict[VertexBucket, ThresholdIndex],
+    ) -> None:
+        per_vertex: dict[str, Sequence[Interval]] = {}
+        for vertex, bucket in combination.bucket_items():
+            per_vertex[vertex] = intervals.get((vertex, bucket), ())
+        if any(len(items) == 0 for items in per_vertex.values()):
+            return
+
+        edge_ubs = self._edge_upper_bounds(combination)
+        first_vertex = self._join_order[0]
+        empty_scores: list[float | None] = [None] * self._num_edges
+        for interval in per_vertex[first_vertex]:
+            assignment = {first_vertex: interval}
+            self._extend(
+                combination, per_vertex, assignment, empty_scores, 1, edge_ubs,
+                heap, stats, index_cache,
+            )
+
+    def _edge_upper_bounds(self, combination: BucketCombination) -> list[float]:
+        if combination.edge_bounds and len(combination.edge_bounds) == self._num_edges:
+            return [bounds[1] for bounds in combination.edge_bounds]
+        return [1.0] * self._num_edges
+
+    def _extend(
+        self,
+        combination: BucketCombination,
+        per_vertex: Mapping[str, Sequence[Interval]],
+        assignment: dict[str, Interval],
+        edge_scores: list[float | None],
+        depth: int,
+        edge_ubs: Sequence[float],
+        heap: _TopKHeap,
+        stats: LocalJoinStats,
+        index_cache: dict[VertexBucket, ThresholdIndex],
+    ) -> None:
+        if depth == len(self._join_order):
+            score = self.query.aggregation.combine(edge_scores)
+            stats.tuples_scored += 1
+            uids = tuple(assignment[vertex].uid for vertex in self.query.vertices)
+            heap.offer(score, uids)
+            return
+
+        vertex = self._join_order[depth]
+        connecting = self._edges_at[depth]
+        pruning = self.config.early_termination and heap.is_full
+        threshold = heap.kth_score if pruning else 0.0
+        candidates = self._candidates(
+            combination, per_vertex, assignment, edge_scores, vertex, connecting,
+            edge_ubs, threshold, index_cache,
+        )
+
+        aggregation = self.query.aggregation
+        scorers = self._scorers
+        for candidate in candidates:
+            stats.candidates_examined += 1
+            assignment[vertex] = candidate
+            # Hybrid queries: attribute constraints are hard filters on the pair.
+            if any(
+                edge.attributes and not edge.attributes_hold(assignment)
+                for _, edge in connecting
+            ):
+                del assignment[vertex]
+                continue
+            new_scores = edge_scores.copy()
+            for edge_index, edge in connecting:
+                new_scores[edge_index] = scorers[edge_index](
+                    assignment[edge.source], assignment[edge.target]
+                )
+            if pruning:
+                # Optimistic estimate: actual scores for resolved edges, upper bounds
+                # for the rest; prune when it cannot beat the current k-th score.
+                estimate_vector = [
+                    new_scores[index] if new_scores[index] is not None else edge_ubs[index]
+                    for index in range(self._num_edges)
+                ]
+                if aggregation.combine(estimate_vector) < threshold:
+                    del assignment[vertex]
+                    continue
+            self._extend(
+                combination, per_vertex, assignment, new_scores, depth + 1,
+                edge_ubs, heap, stats, index_cache,
+            )
+            del assignment[vertex]
+
+    def _candidates(
+        self,
+        combination: BucketCombination,
+        per_vertex: Mapping[str, Sequence[Interval]],
+        assignment: Mapping[str, Interval],
+        edge_scores: Sequence[float | None],
+        vertex: str,
+        connecting: Sequence[tuple[int, QueryEdge]],
+        edge_ubs: Sequence[float],
+        threshold: float,
+        index_cache: dict[VertexBucket, ThresholdIndex],
+    ) -> Sequence[Interval]:
+        """Candidate intervals for the next join-order vertex."""
+        pool = per_vertex[vertex]
+        if not self.config.use_index or not connecting or threshold <= 0.0:
+            return pool
+
+        driver_index, driver_edge = connecting[0]
+        fixed_var = driver_edge.source if driver_edge.target == vertex else driver_edge.target
+        fixed_interval = assignment[fixed_var]
+        # Residual score the driver edge must reach: actual scores for resolved
+        # edges, upper bounds for every other unresolved edge.
+        known = {
+            index: score for index, score in enumerate(edge_scores) if score is not None
+        }
+        required = self.query.aggregation.residual_threshold(
+            threshold, driver_index, known, edge_ubs
+        )
+        if required <= 0.0:
+            return pool
+        if required > 1.0:
+            return ()
+
+        bucket = combination.bucket_of(vertex)
+        cache_key = (vertex, bucket)
+        index = index_cache.get(cache_key)
+        if index is None:
+            index = ThresholdIndex.build(pool, leaf_capacity=self.config.index_leaf_capacity)
+            index_cache[cache_key] = index
+        return index.candidates_compiled(
+            self._threshold_queries[(driver_index, fixed_var)], fixed_interval, required
+        )

@@ -1,0 +1,75 @@
+"""Merging local top-k results into the final answer (TKIJ phase e).
+
+Each reducer of the join phase emits its local top-k list; a final Map-Reduce job
+with a single reduce task merges them and keeps the global top-k.  A direct
+in-process helper is provided as well (used by tests and by callers that do not
+need the job metrics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..mapreduce import MapReduceEngine, MapReduceJob, Mapper, Reducer
+from ..mapreduce.engine import JobResult
+from ..query.graph import ResultTuple
+
+__all__ = ["merge_top_k", "run_merge_job"]
+
+
+def merge_top_k(result_lists: Iterable[Sequence[ResultTuple]], k: int) -> list[ResultTuple]:
+    """Merge several locally-sorted top-k lists into the global top-k.
+
+    Duplicate tuples (same interval ids) are collapsed; ordering is by descending
+    score with the interval-id tuple as deterministic tie-break.
+    """
+    best: dict[tuple[int, ...], ResultTuple] = {}
+    for results in result_lists:
+        for result in results:
+            existing = best.get(result.uids)
+            if existing is None or result.score > existing.score:
+                best[result.uids] = result
+    ordered = sorted(best.values(), key=lambda r: r.sort_key())
+    return ordered[:k]
+
+
+class _MergeMapper(Mapper):
+    """Routes every local result to the single merge reducer."""
+
+    def map(self, key, value):
+        yield 0, value
+
+
+class _MergeReducer(Reducer):
+    """Keeps the global top-k among all local results."""
+
+    def __init__(self, k: int) -> None:
+        self._k = k
+
+    def reduce(self, key, values):
+        merged = merge_top_k([values], self._k)
+        for result in merged:
+            yield "top_k", result
+
+
+def run_merge_job(
+    engine: MapReduceEngine,
+    local_results: Sequence[Sequence[ResultTuple]],
+    k: int,
+) -> tuple[list[ResultTuple], JobResult]:
+    """Run the merge phase as a Map-Reduce job and return the global top-k."""
+    input_pairs = [
+        (reducer_id, result)
+        for reducer_id, results in enumerate(local_results)
+        for result in results
+    ]
+    job = MapReduceJob(
+        name="tkij-merge",
+        mapper_factory=_MergeMapper,
+        reducer_factory=lambda: _MergeReducer(k),
+        num_reducers=1,
+    )
+    job_result = engine.run(job, input_pairs)
+    merged = [value for _, value in job_result.outputs]
+    ordered = sorted(merged, key=lambda r: r.sort_key())[:k]
+    return ordered, job_result

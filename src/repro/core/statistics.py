@@ -1,0 +1,267 @@
+"""Statistics collection (TKIJ phase a).
+
+Time is partitioned into ``g`` contiguous, uniform granules per collection and a
+matrix ``B_i[l][l']`` counts, for every collection ``C_i``, the intervals that
+start in granule ``l`` and end in granule ``l'`` (a *bucket*).  This phase is
+query-independent and executed once per dataset; every later phase of TKIJ only
+consults the matrices.
+
+Two execution paths are provided: a Map-Reduce job (each mapper builds local
+matrices for its split, reducers aggregate per collection — exactly the paper's
+description, and the path benchmarked by ``bench_statistics_collection``) and a
+direct in-process path used when the caller does not care about the job metrics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..mapreduce import ClusterConfig, MapReduceEngine, MapReduceJob, Mapper, Reducer
+from ..mapreduce.cluster import JobMetrics
+from ..solver.domain import VariableBox
+from ..temporal.interval import Interval, IntervalCollection
+
+__all__ = [
+    "Granularity",
+    "BucketKey",
+    "BucketMatrix",
+    "DatasetStatistics",
+    "collect_statistics",
+    "collect_statistics_mapreduce",
+    "update_statistics",
+]
+
+BucketKey = tuple[int, int]
+"""A bucket identifier: (start granule index, end granule index)."""
+
+
+@dataclass(frozen=True)
+class Granularity:
+    """Uniform partitioning of a collection's time range into ``g`` granules."""
+
+    time_min: float
+    time_max: float
+    num_granules: int
+
+    def __post_init__(self) -> None:
+        if self.num_granules <= 0:
+            raise ValueError("num_granules must be positive")
+        if self.time_max < self.time_min:
+            raise ValueError("time_max must not precede time_min")
+
+    @property
+    def width(self) -> float:
+        """Width of one granule (the whole range when it is degenerate)."""
+        span = self.time_max - self.time_min
+        return span / self.num_granules if span > 0 else 1.0
+
+    def granule_of(self, timestamp: float) -> int:
+        """Index of the granule containing ``timestamp`` (clamped to the range)."""
+        if timestamp <= self.time_min:
+            return 0
+        if timestamp >= self.time_max:
+            return self.num_granules - 1
+        index = int((timestamp - self.time_min) / self.width)
+        return min(index, self.num_granules - 1)
+
+    def granule_range(self, index: int) -> tuple[float, float]:
+        """Time range ``[low, high]`` of granule ``index``."""
+        if not 0 <= index < self.num_granules:
+            raise IndexError(f"granule index {index} out of range")
+        low = self.time_min + index * self.width
+        high = self.time_min + (index + 1) * self.width
+        if index == self.num_granules - 1:
+            high = max(high, self.time_max)
+        return low, high
+
+    def bucket_of(self, interval: Interval) -> BucketKey:
+        """Bucket key of an interval: granules of its start and end."""
+        return (self.granule_of(interval.start), self.granule_of(interval.end))
+
+    def bucket_box(self, key: BucketKey) -> VariableBox:
+        """Endpoint box of a bucket (the solver's domain for one variable)."""
+        start_granule = self.granule_range(key[0])
+        end_granule = self.granule_range(key[1])
+        return VariableBox.from_granules(start_granule, end_granule)
+
+    @classmethod
+    def for_collection(cls, collection: IntervalCollection, num_granules: int) -> "Granularity":
+        """Granularity spanning exactly the collection's time range."""
+        time_min, time_max = collection.time_range()
+        return cls(time_min, time_max, num_granules)
+
+
+@dataclass
+class BucketMatrix:
+    """Bucket cardinalities of one collection: ``counts[(l, l')] = |b_{l,l'}|``."""
+
+    collection_name: str
+    granularity: Granularity
+    counts: dict[BucketKey, int] = field(default_factory=dict)
+
+    def add(self, key: BucketKey, amount: int = 1) -> None:
+        """Increment the cardinality of bucket ``key``."""
+        self.counts[key] = self.counts.get(key, 0) + amount
+
+    def remove(self, key: BucketKey, amount: int = 1) -> None:
+        """Decrement the cardinality of bucket ``key`` (dropping it when it reaches zero)."""
+        current = self.counts.get(key, 0)
+        if current < amount:
+            raise ValueError(
+                f"bucket {key} of {self.collection_name!r} holds {current} intervals, "
+                f"cannot remove {amount}"
+            )
+        remaining = current - amount
+        if remaining == 0:
+            del self.counts[key]
+        else:
+            self.counts[key] = remaining
+
+    def count(self, key: BucketKey) -> int:
+        """Cardinality of bucket ``key`` (0 when empty)."""
+        return self.counts.get(key, 0)
+
+    def nonempty_buckets(self) -> list[BucketKey]:
+        """Keys of buckets containing at least one interval, in sorted order."""
+        return sorted(key for key, value in self.counts.items() if value > 0)
+
+    def total(self) -> int:
+        """Number of intervals accounted for (should equal the collection size)."""
+        return sum(self.counts.values())
+
+    def bucket_box(self, key: BucketKey) -> VariableBox:
+        """Endpoint box of bucket ``key``."""
+        return self.granularity.bucket_box(key)
+
+    def __iter__(self) -> Iterator[tuple[BucketKey, int]]:
+        return iter(sorted(self.counts.items()))
+
+
+@dataclass
+class DatasetStatistics:
+    """Bucket matrices of every collection of a dataset, plus collection metadata."""
+
+    matrices: dict[str, BucketMatrix]
+    num_granules: int
+    average_lengths: dict[str, float] = field(default_factory=dict)
+    collection_metrics: JobMetrics | None = None
+
+    def matrix(self, collection_name: str) -> BucketMatrix:
+        """Bucket matrix of one collection."""
+        return self.matrices[collection_name]
+
+    def bucket_of(self, collection_name: str, interval: Interval) -> BucketKey:
+        """Bucket key an interval of ``collection_name`` falls into."""
+        return self.matrices[collection_name].granularity.bucket_of(interval)
+
+    def nonempty_bucket_count(self, collection_name: str) -> int:
+        """Number of non-empty buckets of one collection (reported in §4.3.2)."""
+        return len(self.matrices[collection_name].nonempty_buckets())
+
+
+def update_statistics(
+    statistics: DatasetStatistics,
+    inserted: Mapping[str, Iterable[Interval]] | None = None,
+    deleted: Mapping[str, Iterable[Interval]] | None = None,
+) -> DatasetStatistics:
+    """Incrementally maintain statistics after insertions/deletions (paper §3.2).
+
+    The paper notes that updates are handled "by applying the same process on the
+    inserted/deleted data": new intervals are bucketed with the existing granule
+    boundaries and added to the matrices, deleted ones are subtracted.  Granule
+    boundaries are kept fixed (timestamps outside the original range clamp to the
+    first/last granule, like any out-of-range timestamp).  The statistics object is
+    updated in place and returned; average lengths are not recomputed because they
+    only parameterise the extended predicates built from the *collections*.
+    """
+    for name, intervals in (inserted or {}).items():
+        matrix = statistics.matrix(name)
+        for interval in intervals:
+            matrix.add(matrix.granularity.bucket_of(interval))
+    for name, intervals in (deleted or {}).items():
+        matrix = statistics.matrix(name)
+        for interval in intervals:
+            matrix.remove(matrix.granularity.bucket_of(interval))
+    return statistics
+
+
+def collect_statistics(
+    collections: Mapping[str, IntervalCollection], num_granules: int
+) -> DatasetStatistics:
+    """Direct in-process statistics collection (no Map-Reduce job)."""
+    matrices: dict[str, BucketMatrix] = {}
+    average_lengths: dict[str, float] = {}
+    for name, collection in collections.items():
+        granularity = Granularity.for_collection(collection, num_granules)
+        matrix = BucketMatrix(name, granularity)
+        for interval in collection:
+            matrix.add(granularity.bucket_of(interval))
+        matrices[name] = matrix
+        average_lengths[name] = collection.average_length()
+    return DatasetStatistics(matrices, num_granules, average_lengths)
+
+
+class _StatisticsMapper(Mapper):
+    """Maps each interval to a partial count for its (collection, bucket)."""
+
+    def __init__(self, granularities: dict[str, Granularity]) -> None:
+        self._granularities = granularities
+
+    def map(self, key, value):
+        collection_name, interval = key, value
+        bucket = self._granularities[collection_name].bucket_of(interval)
+        self.counters.increment("statistics.intervals_read")
+        yield (collection_name, bucket), 1
+
+
+class _StatisticsReducer(Reducer):
+    """Sums partial counts; one output record per (collection, bucket)."""
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+def collect_statistics_mapreduce(
+    collections: Mapping[str, IntervalCollection],
+    num_granules: int,
+    engine: MapReduceEngine | None = None,
+) -> DatasetStatistics:
+    """Statistics collection as a Map-Reduce job (the paper's phase a).
+
+    Mappers read a fraction of every collection and emit per-bucket partial counts;
+    reducers aggregate them.  Granule boundaries are derived from the collection
+    time ranges (broadcast to mappers, as a real deployment would do through the
+    distributed cache).
+    """
+    engine = engine or MapReduceEngine(ClusterConfig())
+    granularities = {
+        name: Granularity.for_collection(collection, num_granules)
+        for name, collection in collections.items()
+    }
+    input_pairs = [
+        (name, interval) for name, collection in collections.items() for interval in collection
+    ]
+    job = MapReduceJob(
+        name="tkij-statistics",
+        mapper_factory=lambda: _StatisticsMapper(granularities),
+        reducer_factory=_StatisticsReducer,
+        num_reducers=min(len(collections), engine.cluster.num_reducers) or 1,
+    )
+    result = engine.run(job, input_pairs)
+
+    matrices = {
+        name: BucketMatrix(name, granularity) for name, granularity in granularities.items()
+    }
+    grouped: dict[str, dict[BucketKey, int]] = defaultdict(dict)
+    for (collection_name, bucket), count in result.outputs:
+        grouped[collection_name][bucket] = count
+    for name, buckets in grouped.items():
+        matrices[name].counts.update(buckets)
+    average_lengths = {
+        name: collection.average_length() for name, collection in collections.items()
+    }
+    return DatasetStatistics(
+        matrices, num_granules, average_lengths, collection_metrics=result.metrics
+    )

@@ -1,0 +1,289 @@
+"""The TKIJ query evaluator (the paper's contribution, end to end).
+
+``TKIJ`` wires the phases together exactly as Figure 5 describes:
+
+(a) statistics collection over the input collections (offline, reusable);
+(b) TopBuckets: score bounds for bucket combinations and pruning to ``Ω_k,S``;
+(c) DistributeTopBuckets: assignment of combinations (and hence buckets) to
+    reducers;
+(d) a Map-Reduce join job: mappers route every interval to the reducers that were
+    assigned its bucket, reducers run the RTJ query locally and emit their top-k;
+(e) a final Map-Reduce job merging the local lists into the global top-k.
+
+The returned :class:`TKIJResult` carries the per-phase timings, shuffle and
+balance metrics, pruning statistics and per-reducer result quality that the
+paper's figures report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..mapreduce import (
+    ClusterConfig,
+    MapReduceEngine,
+    MapReduceJob,
+    Mapper,
+    Reducer,
+    RoutingPartitioner,
+)
+from ..mapreduce.cluster import JobMetrics
+from ..query.graph import ResultTuple, RTJQuery
+from ..solver import BranchAndBoundSolver
+from ..temporal.interval import Interval, IntervalCollection
+from .bounds import CombinationSpace
+from .distribution import ASSIGNERS, WorkloadAssignment, assign
+from .local_join import LocalJoinConfig, LocalJoinStats, LocalTopKJoin
+from .merge import merge_top_k, run_merge_job
+from .statistics import (
+    BucketKey,
+    DatasetStatistics,
+    collect_statistics,
+    collect_statistics_mapreduce,
+)
+from .top_buckets import STRATEGIES, TopBucketsResult, TopBucketsSelector
+
+__all__ = ["TKIJ", "TKIJResult"]
+
+
+@dataclass
+class TKIJResult:
+    """Full execution report of one RTJ query evaluated by TKIJ."""
+
+    results: list[ResultTuple]
+    phase_seconds: dict[str, float]
+    top_buckets: TopBucketsResult
+    assignment: WorkloadAssignment
+    join_metrics: JobMetrics
+    merge_metrics: JobMetrics
+    local_join_stats: LocalJoinStats
+    per_reducer_kth_score: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end query time (statistics excluded, as in the paper)."""
+        return sum(
+            seconds for phase, seconds in self.phase_seconds.items() if phase != "statistics"
+        )
+
+    @property
+    def min_kth_score(self) -> float:
+        """Minimum k-th-result score across reducers that produced results (Figure 8c)."""
+        scores = [s for s in self.per_reducer_kth_score.values() if s is not None]
+        return min(scores) if scores else 0.0
+
+    def describe(self) -> dict[str, float]:
+        """Flat summary used by the experiment harness."""
+        summary: dict[str, float] = {f"seconds_{k}": v for k, v in self.phase_seconds.items()}
+        summary["seconds_total"] = self.total_seconds
+        summary.update(self.top_buckets.describe())
+        summary.update(
+            {f"join_{k}": v for k, v in self.join_metrics.describe().items()}
+        )
+        summary["min_kth_score"] = self.min_kth_score
+        summary["tuples_scored"] = float(self.local_join_stats.tuples_scored)
+        summary["candidates_examined"] = float(self.local_join_stats.candidates_examined)
+        summary["combinations_processed"] = float(self.local_join_stats.combinations_processed)
+        return summary
+
+
+class _JoinMapper(Mapper):
+    """Routes each interval to every reducer that was assigned its bucket."""
+
+    def __init__(
+        self,
+        bucket_of: Mapping[str, Mapping[int, BucketKey]],
+        routing: Mapping[tuple[str, BucketKey], tuple[int, ...]],
+    ) -> None:
+        self._bucket_of = bucket_of
+        self._routing = routing
+
+    def map(self, key, value):
+        vertex, interval = key, value
+        bucket = self._bucket_of[vertex].get(interval.uid)
+        if bucket is None:
+            return
+        reducers = self._routing.get((vertex, bucket), ())
+        for reducer in reducers:
+            self.counters.increment("join.intervals_shuffled")
+            yield (reducer, vertex, bucket), interval
+
+
+class _JoinReducer(Reducer):
+    """Collects its buckets, then runs the local top-k join in ``cleanup``."""
+
+    def __init__(self, query: RTJQuery, assignment: WorkloadAssignment, config: LocalJoinConfig) -> None:
+        self._query = query
+        self._assignment = assignment
+        self._config = config
+        self._reducer_id: int | None = None
+        self._intervals: dict[tuple[str, BucketKey], list[Interval]] = {}
+
+    def reduce(self, key, values):
+        reducer_id, vertex, bucket = key
+        self._reducer_id = reducer_id
+        self._intervals[(vertex, bucket)] = list(values)
+        return iter(())
+
+    def cleanup(self) -> Iterator:
+        if self._reducer_id is None:
+            return
+        combinations = self._assignment.combinations_per_reducer.get(self._reducer_id, [])
+        if not combinations:
+            return
+        join = LocalTopKJoin(self._query, self._config)
+        results, stats = join.run(combinations, self._intervals, k=self._query.k)
+        self.counters.increment("join.tuples_scored", stats.tuples_scored)
+        self.counters.increment("join.candidates_examined", stats.candidates_examined)
+        self.counters.increment("join.combinations_processed", stats.combinations_processed)
+        self.counters.increment("join.combinations_skipped", stats.combinations_skipped)
+        yield "local_top_k", (self._reducer_id, results, stats)
+
+
+class _JoinPartitioner(RoutingPartitioner):
+    """Routes join keys ``(reducer, vertex, bucket)`` to their designated reducer."""
+
+    def __init__(self) -> None:
+        super().__init__({})
+
+    def partition(self, key, num_reducers: int) -> int:
+        return key[0] % num_reducers
+
+
+@dataclass
+class TKIJ:
+    """Evaluator for Ranked Temporal Join queries on the simulated Map-Reduce cluster.
+
+    Parameters mirror the paper's experimental knobs: the number of granules of the
+    statistics, the TopBuckets strategy, the workload-assignment policy, the
+    cluster size, and the local-join configuration.
+    """
+
+    num_granules: int = 20
+    strategy: str = "loose"
+    assigner: str = "dtb"
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    join_config: LocalJoinConfig = field(default_factory=LocalJoinConfig)
+    solver: BranchAndBoundSolver = field(default_factory=BranchAndBoundSolver)
+    statistics_on_mapreduce: bool = False
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.assigner not in ASSIGNERS:
+            raise ValueError(f"unknown assigner {self.assigner!r}")
+        self.engine = MapReduceEngine(self.cluster)
+
+    # ------------------------------------------------------------------ phases
+    def collect_statistics(
+        self, collections: Mapping[str, IntervalCollection]
+    ) -> DatasetStatistics:
+        """Phase (a): bucket matrices for every collection (query-independent)."""
+        if self.statistics_on_mapreduce:
+            return collect_statistics_mapreduce(collections, self.num_granules, self.engine)
+        return collect_statistics(collections, self.num_granules)
+
+    def execute(
+        self, query: RTJQuery, statistics: DatasetStatistics | None = None
+    ) -> TKIJResult:
+        """Evaluate ``query`` end to end and return results plus the execution report."""
+        phase_seconds: dict[str, float] = {}
+
+        started = time.perf_counter()
+        if statistics is None:
+            statistics = self.collect_statistics(self._collections_by_name(query))
+        phase_seconds["statistics"] = time.perf_counter() - started
+
+        # Phase (b): TopBuckets.
+        started = time.perf_counter()
+        space = CombinationSpace(query, statistics)
+        selector = TopBucketsSelector(strategy=self.strategy, solver=self.solver)
+        top_buckets = selector.run(query, statistics, space)
+        phase_seconds["top_buckets"] = time.perf_counter() - started
+
+        # Phase (c): workload assignment.
+        started = time.perf_counter()
+        assignment = assign(self.assigner, top_buckets.selected, self.cluster.num_reducers)
+        phase_seconds["distribution"] = time.perf_counter() - started
+
+        # Phase (d): distributed join.
+        started = time.perf_counter()
+        local_results, join_metrics, local_stats = self._run_join_job(
+            query, statistics, assignment
+        )
+        phase_seconds["join"] = time.perf_counter() - started
+
+        # Phase (e): merge.
+        started = time.perf_counter()
+        ordered_locals = [local_results.get(r, []) for r in range(self.cluster.num_reducers)]
+        results, merge_job = run_merge_job(self.engine, ordered_locals, query.k)
+        phase_seconds["merge"] = time.perf_counter() - started
+
+        per_reducer_kth = {
+            reducer: (results_list[-1].score if results_list else None)
+            for reducer, results_list in local_results.items()
+        }
+        return TKIJResult(
+            results=results,
+            phase_seconds=phase_seconds,
+            top_buckets=top_buckets,
+            assignment=assignment,
+            join_metrics=join_metrics,
+            merge_metrics=merge_job.metrics,
+            local_join_stats=local_stats,
+            per_reducer_kth_score=per_reducer_kth,
+        )
+
+    # ----------------------------------------------------------------- internal
+    def _run_join_job(
+        self,
+        query: RTJQuery,
+        statistics: DatasetStatistics,
+        assignment: WorkloadAssignment,
+    ) -> tuple[dict[int, list[ResultTuple]], JobMetrics, LocalJoinStats]:
+        bucket_of: dict[str, dict[int, BucketKey]] = {}
+        input_pairs = []
+        for vertex in query.vertices:
+            collection = query.collections[vertex]
+            matrix = statistics.matrix(collection.name)
+            per_interval: dict[int, BucketKey] = {}
+            for interval in collection:
+                per_interval[interval.uid] = matrix.granularity.bucket_of(interval)
+                input_pairs.append((vertex, interval))
+            bucket_of[vertex] = per_interval
+
+        routing: dict[tuple[str, BucketKey], tuple[int, ...]] = {}
+        for reducer, buckets in assignment.buckets_per_reducer.items():
+            for item in buckets:
+                routing.setdefault(item, ())
+                routing[item] = routing[item] + (reducer,)
+
+        job = MapReduceJob(
+            name="tkij-join",
+            mapper_factory=lambda: _JoinMapper(bucket_of, routing),
+            reducer_factory=lambda: _JoinReducer(query, assignment, self.join_config),
+            partitioner=_JoinPartitioner(),
+            num_reducers=self.cluster.num_reducers,
+        )
+        job_result = self.engine.run(job, input_pairs)
+
+        local_results: dict[int, list[ResultTuple]] = {}
+        merged_stats = LocalJoinStats()
+        for key, value in job_result.outputs:
+            if key != "local_top_k":
+                continue
+            reducer_id, results, stats = value
+            local_results[reducer_id] = results
+            merged_stats.merge(stats)
+        return local_results, job_result.metrics, merged_stats
+
+    @staticmethod
+    def _collections_by_name(query: RTJQuery) -> dict[str, IntervalCollection]:
+        """Distinct collections referenced by the query, keyed by collection name."""
+        collections: dict[str, IntervalCollection] = {}
+        for vertex in query.vertices:
+            collection = query.collections[vertex]
+            collections[collection.name] = collection
+        return collections

@@ -1,0 +1,202 @@
+"""TopBuckets: pruning the bucket-combination space (TKIJ phase b, part 2).
+
+``getTopBuckets`` (Algorithm 1) keeps the subset ``Ω_k,S`` of combinations that is
+sufficient to answer the query exactly: every pruned combination is dominated by
+retained combinations holding at least ``k`` results with higher (or equal) scores
+(Definition 2).  Three strategies trade bound tightness against solver work
+(Algorithm 2):
+
+* ``brute-force`` — joint (tight) bounds for every combination;
+* ``loose``       — pairwise bounds per edge, aggregated; a single pruning pass;
+* ``two-phase``   — loose pruning first, then tight bounds for the survivors and a
+  second pruning pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..query.graph import RTJQuery
+from ..solver import BranchAndBoundSolver
+from .bounds import BoundsEstimator, BucketCombination, CombinationSpace
+from .statistics import DatasetStatistics
+
+__all__ = ["get_top_buckets", "TopBucketsResult", "TopBucketsSelector", "STRATEGIES"]
+
+STRATEGIES = ("brute-force", "loose", "two-phase")
+
+
+def get_top_buckets(
+    combinations: Sequence[BucketCombination], k: int
+) -> list[BucketCombination]:
+    """Algorithm 1: select a sufficient set of combinations for the top-k.
+
+    A lower bound ``kthResLB`` on the score of the k-th result is derived from the
+    combinations with the highest lower bounds; every combination whose upper bound
+    exceeds that threshold is kept (plus enough combinations to cover ``k``
+    results).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    combos = [c for c in combinations if c.nb_res > 0]
+    if not combos:
+        return []
+
+    by_lower = sorted(combos, key=lambda c: (-c.lower_bound, c.key()))
+    collected = 0
+    kth_res_lb = by_lower[-1].lower_bound
+    for combo in by_lower:
+        collected += combo.nb_res
+        kth_res_lb = combo.lower_bound
+        if collected >= k:
+            break
+
+    by_upper = sorted(combos, key=lambda c: (-c.upper_bound, c.key()))
+    selected: list[BucketCombination] = []
+    collected = 0
+    for combo in by_upper:
+        # The paper's Algorithm 1 stops at "UB <= kthResLB"; the strict comparison is
+        # required so that, in case of ties at the boundary, the combinations whose
+        # lower bounds *support* kthResLB are themselves retained (Definition 2 asks
+        # the dominating set to be a subset of the selection).
+        if collected >= k and combo.upper_bound < kth_res_lb:
+            break
+        selected.append(combo)
+        collected += combo.nb_res
+    return selected
+
+
+@dataclass
+class TopBucketsResult:
+    """Output of the TopBuckets phase with the statistics the experiments report."""
+
+    selected: list[BucketCombination]
+    strategy: str
+    total_combinations: int = 0
+    total_results: int = 0
+    selected_results: int = 0
+    pairs_bounded: int = 0
+    tight_bounds_computed: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def pruned_results_fraction(self) -> float:
+        """Fraction of potential results eliminated (the grey curve of Figure 10c)."""
+        if self.total_results == 0:
+            return 0.0
+        return 1.0 - self.selected_results / self.total_results
+
+    @property
+    def selected_count(self) -> int:
+        """|Ω_k,S| — the number of selected combinations."""
+        return len(self.selected)
+
+    def describe(self) -> dict[str, float]:
+        """Flat summary used by the experiment reports."""
+        return {
+            "strategy_combinations": float(self.total_combinations),
+            "selected_combinations": float(self.selected_count),
+            "total_results": float(self.total_results),
+            "selected_results": float(self.selected_results),
+            "pruned_results_fraction": self.pruned_results_fraction,
+            "pairs_bounded": float(self.pairs_bounded),
+            "tight_bounds_computed": float(self.tight_bounds_computed),
+            "topbuckets_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class TopBucketsSelector:
+    """Runs one TopBuckets strategy for a query over collected statistics."""
+
+    strategy: str = "loose"
+    solver: BranchAndBoundSolver = field(default_factory=BranchAndBoundSolver)
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}")
+
+    def run(
+        self,
+        query: RTJQuery,
+        statistics: DatasetStatistics,
+        space: CombinationSpace | None = None,
+    ) -> TopBucketsResult:
+        """Compute ``Ω_k,S`` for ``query`` with this selector's strategy."""
+        started = time.perf_counter()
+        space = space or CombinationSpace(query, statistics)
+        estimator = BoundsEstimator(query, space, solver=self.solver)
+
+        combos = list(space.enumerate())
+        total_results = sum(c.nb_res for c in combos)
+
+        if query.has_attribute_constraints:
+            # Hybrid queries (attribute constraints on edges): the purely-temporal
+            # statistics over-count the results a combination can contribute, so the
+            # count-based pruning of Definition 2 is no longer sound.  Keep every
+            # combination — bounds are still computed so DTB and the local join's
+            # early termination retain their score ordering.
+            estimator.pairwise.precompute_all_pairs()
+            selected = [estimator.loose_bounds(c) for c in combos]
+            elapsed = time.perf_counter() - started
+            return TopBucketsResult(
+                selected=selected,
+                strategy=self.strategy,
+                total_combinations=len(combos),
+                total_results=total_results,
+                selected_results=total_results,
+                pairs_bounded=estimator.pairwise.pairs_computed,
+                tight_bounds_computed=0,
+                elapsed_seconds=elapsed,
+            )
+
+        if self.strategy == "brute-force":
+            bounded = [estimator.tight_bounds(c) for c in combos]
+            selected = get_top_buckets(bounded, query.k)
+            tight_computed = len(bounded)
+        elif self.strategy == "loose":
+            estimator.pairwise.precompute_all_pairs()
+            bounded = [estimator.loose_bounds(c) for c in combos]
+            selected = get_top_buckets(bounded, query.k)
+            tight_computed = 0
+        else:  # two-phase
+            estimator.pairwise.precompute_all_pairs()
+            bounded = [estimator.loose_bounds(c) for c in combos]
+            survivors = get_top_buckets(bounded, query.k)
+            refined = [estimator.tight_bounds(c) for c in survivors]
+            selected = get_top_buckets(refined, query.k)
+            tight_computed = len(refined)
+
+        elapsed = time.perf_counter() - started
+        return TopBucketsResult(
+            selected=selected,
+            strategy=self.strategy,
+            total_combinations=len(combos),
+            total_results=total_results,
+            selected_results=sum(c.nb_res for c in selected),
+            pairs_bounded=estimator.pairwise.pairs_computed,
+            tight_bounds_computed=tight_computed,
+            elapsed_seconds=elapsed,
+        )
+
+
+def validate_selection(
+    selected: Iterable[BucketCombination],
+    all_combinations: Iterable[BucketCombination],
+    k: int,
+) -> bool:
+    """Check Definition 2: every pruned combination is dominated by >= k retained results.
+
+    Used by the property-based tests; not part of the hot path.
+    """
+    selected = list(selected)
+    selected_keys = {c.key() for c in selected}
+    for combo in all_combinations:
+        if combo.key() in selected_keys or combo.nb_res == 0:
+            continue
+        dominating = [c for c in selected if c.lower_bound >= combo.upper_bound]
+        if sum(c.nb_res for c in dominating) < k:
+            return False
+    return True

@@ -1,0 +1,26 @@
+"""Workload generators: synthetic uniform data, simulated network traces, hashtags."""
+
+from .network import (
+    NetworkTraceConfig,
+    Packet,
+    connections_from_packets,
+    generate_network_collection,
+    generate_packet_log,
+    sample_collection,
+)
+from .synthetic import SyntheticConfig, generate_collections, generate_uniform_collection
+from .tweets import TweetConfig, generate_hashtag_collection
+
+__all__ = [
+    "NetworkTraceConfig",
+    "Packet",
+    "connections_from_packets",
+    "generate_network_collection",
+    "generate_packet_log",
+    "sample_collection",
+    "SyntheticConfig",
+    "generate_collections",
+    "generate_uniform_collection",
+    "TweetConfig",
+    "generate_hashtag_collection",
+]

@@ -1,0 +1,64 @@
+"""Hashtag-lifespan generator (the tweet-analysis scenario of the introduction).
+
+The paper motivates RTJ queries with tweet analysis: intervals are the lifespans of
+hashtags, and queries such as ``meets`` or ``sparks`` find discussion topics that
+started roughly when another ended, or short-lived topics preceding a long-lasting
+one (the ``#JeSuisCharlie`` example).  This generator produces hashtag lifespans
+with a small number of long-lasting "event" hashtags and a majority of short-lived
+ones, so the ``sparks`` predicate has meaningful matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..temporal.interval import Interval, IntervalCollection
+
+__all__ = ["TweetConfig", "generate_hashtag_collection"]
+
+
+@dataclass(frozen=True)
+class TweetConfig:
+    """Parameters of the hashtag-lifespan workload."""
+
+    num_hashtags: int = 2_000
+    horizon_hours: float = 24.0 * 14.0
+    long_lived_fraction: float = 0.05
+    short_mean_hours: float = 2.0
+    long_mean_hours: float = 72.0
+
+    def __post_init__(self) -> None:
+        if self.num_hashtags <= 0:
+            raise ValueError("num_hashtags must be positive")
+        if not 0.0 <= self.long_lived_fraction <= 1.0:
+            raise ValueError("long_lived_fraction must be in [0, 1]")
+
+
+def generate_hashtag_collection(
+    name: str = "hashtags", config: TweetConfig | None = None, seed: int | None = None
+) -> IntervalCollection:
+    """Hashtag lifespans in hours, with a heavy-tailed mix of short and long topics."""
+    config = config or TweetConfig()
+    rng = np.random.default_rng(seed)
+
+    num_long = int(config.num_hashtags * config.long_lived_fraction)
+    num_short = config.num_hashtags - num_long
+
+    starts = rng.uniform(0.0, config.horizon_hours, size=config.num_hashtags)
+    short_lengths = rng.exponential(config.short_mean_hours, size=num_short) + 0.1
+    long_lengths = rng.exponential(config.long_mean_hours, size=num_long) + 12.0
+    lengths = np.concatenate([short_lengths, long_lengths])
+    kinds = ["short"] * num_short + ["long"] * num_long
+
+    intervals = [
+        Interval(
+            uid,
+            float(start),
+            float(start + length),
+            payload={"hashtag": f"#topic{uid}", "kind": kind},
+        )
+        for uid, (start, length, kind) in enumerate(zip(starts, lengths, kinds))
+    ]
+    return IntervalCollection(name, intervals)

@@ -1,0 +1,40 @@
+"""Experiment catalogue and per-figure drivers reproducing the paper's evaluation."""
+
+from .harness import ResultTable, TKIJRunConfig, run_tkij
+from .network_figures import (
+    figure12_network_distribution,
+    figure13_network_scalability,
+    figure14_network_effect_k,
+    network_collections,
+)
+from .scalability_figures import figure11_scalability, statistics_collection_times
+from .synthetic_figures import (
+    effect_of_k_synthetic,
+    figure7_score_distribution,
+    figure8_workload_distribution,
+    figure9_topbuckets_strategies,
+    figure10_granules,
+)
+from .workloads import PARAMETERS, QUERIES, QuerySpec, build_query, star_spec
+
+__all__ = [
+    "ResultTable",
+    "TKIJRunConfig",
+    "run_tkij",
+    "figure12_network_distribution",
+    "figure13_network_scalability",
+    "figure14_network_effect_k",
+    "network_collections",
+    "figure11_scalability",
+    "statistics_collection_times",
+    "effect_of_k_synthetic",
+    "figure7_score_distribution",
+    "figure8_workload_distribution",
+    "figure9_topbuckets_strategies",
+    "figure10_granules",
+    "PARAMETERS",
+    "QUERIES",
+    "QuerySpec",
+    "build_query",
+    "star_spec",
+]

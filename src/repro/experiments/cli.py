@@ -1,0 +1,95 @@
+"""Command-line entry point for the experiment drivers.
+
+``python -m repro.experiments <experiment> [options]`` regenerates one of the
+paper's tables/figures at a chosen scale and prints (or saves) the measured series.
+This is a convenience wrapper around the same drivers the benchmarks call; the
+benchmark suite remains the canonical way to reproduce everything at once.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+from .harness import ResultTable
+from .network_figures import (
+    figure12_network_distribution,
+    figure13_network_scalability,
+    figure14_network_effect_k,
+)
+from .scalability_figures import figure11_scalability, statistics_collection_times
+from .synthetic_figures import (
+    effect_of_k_synthetic,
+    figure7_score_distribution,
+    figure8_workload_distribution,
+    figure9_topbuckets_strategies,
+    figure10_granules,
+)
+
+__all__ = ["EXPERIMENTS", "build_parser", "run_experiment", "main"]
+
+
+def _sizes(argument: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in argument.split(",") if part)
+
+
+EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
+    "fig7": lambda args: figure7_score_distribution(size=args.size),
+    "fig8": lambda args: figure8_workload_distribution(
+        sizes=args.sizes or (args.size,), k=args.k, num_granules=args.granules
+    ),
+    "fig9": lambda args: figure9_topbuckets_strategies(
+        size=args.size, num_granules=args.granules, k=args.k
+    ),
+    "fig10": lambda args: figure10_granules(size=args.size, k=args.k),
+    "fig11": lambda args: figure11_scalability(
+        sizes=args.sizes or (args.size,), k=args.k, num_granules=args.granules
+    ),
+    "fig12": lambda args: figure12_network_distribution(),
+    "fig13": lambda args: figure13_network_scalability(k=args.k, num_granules=args.granules),
+    "fig14": lambda args: figure14_network_effect_k(num_granules=args.granules),
+    "effect-k": lambda args: effect_of_k_synthetic(size=args.size, num_granules=args.granules),
+    "statistics": lambda args: statistics_collection_times(
+        sizes=args.sizes or (1_000, 5_000, 20_000), num_granules=args.granules
+    ),
+}
+"""Experiment name -> driver invocation (parameterised by the parsed CLI options)."""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one experiment of the TKIJ paper at laptop scale.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment to run")
+    parser.add_argument("--size", type=int, default=400, help="intervals per collection")
+    parser.add_argument(
+        "--sizes", type=_sizes, default=None, help="comma-separated sizes for sweeps"
+    )
+    parser.add_argument("--k", type=int, default=100, help="number of results to return")
+    parser.add_argument("--granules", type=int, default=10, help="granules per collection")
+    parser.add_argument("--output", type=str, default=None, help="write the table to this file")
+    return parser
+
+
+def run_experiment(name: str, args: argparse.Namespace) -> ResultTable:
+    """Run one named experiment with the parsed options."""
+    return EXPERIMENTS[name](args)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    table = run_experiment(args.experiment, args)
+    text = table.to_text()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

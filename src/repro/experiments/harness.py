@@ -1,0 +1,106 @@
+"""Experiment harness: result tables and common runners.
+
+Every figure/table driver returns a :class:`ResultTable` whose rows are the series
+the paper plots (one row per configuration point).  Benchmarks print these tables
+so the reproduction numbers can be compared against the paper's shapes, and
+EXPERIMENTS.md records one captured run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..core import TKIJ, LocalJoinConfig, TKIJResult
+from ..mapreduce import ClusterConfig
+from ..query.graph import RTJQuery
+from ..solver import BranchAndBoundSolver
+
+__all__ = ["ResultTable", "TKIJRunConfig", "run_tkij"]
+
+
+@dataclass
+class ResultTable:
+    """A small column-oriented table with text rendering for benchmark output."""
+
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; missing columns render as blanks."""
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def to_text(self) -> str:
+        """Fixed-width text rendering (printed by the benchmark harness)."""
+        header = [self.title, ""]
+        widths = {
+            column: max(len(column), *(len(_fmt(row.get(column))) for row in self.rows))
+            if self.rows
+            else len(column)
+            for column in self.columns
+        }
+        header.append("  ".join(column.ljust(widths[column]) for column in self.columns))
+        header.append("  ".join("-" * widths[column] for column in self.columns))
+        for row in self.rows:
+            header.append(
+                "  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in self.columns)
+            )
+        return "\n".join(header)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TKIJRunConfig:
+    """One TKIJ configuration point of an experiment."""
+
+    num_granules: int = 20
+    strategy: str = "loose"
+    assigner: str = "dtb"
+    num_reducers: int = 8
+    num_mappers: int = 4
+    use_index: bool = True
+    early_termination: bool = True
+    solver_max_nodes: int = 64
+
+    def make_runner(self) -> TKIJ:
+        """Instantiate the TKIJ evaluator for this configuration."""
+        return TKIJ(
+            num_granules=self.num_granules,
+            strategy=self.strategy,
+            assigner=self.assigner,
+            cluster=ClusterConfig(num_reducers=self.num_reducers, num_mappers=self.num_mappers),
+            join_config=LocalJoinConfig(
+                use_index=self.use_index, early_termination=self.early_termination
+            ),
+            solver=BranchAndBoundSolver(max_nodes=self.solver_max_nodes),
+        )
+
+
+def run_tkij(query: RTJQuery, config: TKIJRunConfig | None = None) -> TKIJResult:
+    """Run one query under one configuration and return the execution report."""
+    config = config or TKIJRunConfig()
+    return config.make_runner().execute(query)
+
+
+def summarize(results: Mapping[str, TKIJResult], keys: Sequence[str]) -> ResultTable:
+    """Tabulate selected metrics of several named runs."""
+    table = ResultTable(title="TKIJ runs", columns=["run", *keys])
+    for name, result in results.items():
+        summary = result.describe()
+        table.add_row(run=name, **{key: summary.get(key) for key in keys})
+    return table

@@ -1,0 +1,128 @@
+"""The paper's experimental workloads: queries (Table 1) and score parameters (Table 2).
+
+Queries are described as :class:`QuerySpec` objects over numbered vertices
+``x1..xn``; binding a spec to concrete collections produces an
+:class:`~repro.query.graph.RTJQuery`.  The star-shaped families Qb*, Qo* and Qm*
+(used by the TopBuckets-strategies experiment) are generated for any ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..query.builder import QueryBuilder
+from ..query.graph import RTJQuery
+from ..temporal.comparators import PredicateParams
+from ..temporal.interval import IntervalCollection
+
+__all__ = ["PARAMETERS", "QuerySpec", "QUERIES", "star_spec", "build_query"]
+
+
+PARAMETERS: dict[str, PredicateParams] = {
+    # Table 2: (lambda_equals, rho_equals), (lambda_greater, rho_greater).
+    "P1": PredicateParams.of(4, 16, 0, 10),
+    "P2": PredicateParams.of(0, 16, 2, 8),
+    "P3": PredicateParams.of(4, 12, 0, 8),
+    "PB": PredicateParams.boolean(),
+}
+"""The scored-predicate parameter sets of Table 2."""
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A query shape: predicate names attached to pairs of numbered vertices.
+
+    ``predicates`` lists ``(source_index, target_index, predicate_name)`` with
+    1-based vertex indices, mirroring the notation of Table 1 (e.g. Qs,m is
+    ``starts(x1, x2), meets(x2, x3)``).
+    """
+
+    name: str
+    predicates: tuple[tuple[int, int, str], ...]
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of distinct vertices referenced by the predicates."""
+        indices = {i for edge in self.predicates for i in edge[:2]}
+        return max(indices)
+
+    def vertex_names(self) -> list[str]:
+        """Vertex names ``x1..xn`` in order."""
+        return [f"x{i}" for i in range(1, self.num_vertices + 1)]
+
+    def build(
+        self,
+        collections: Sequence[IntervalCollection] | Mapping[str, IntervalCollection],
+        params: PredicateParams,
+        k: int = 100,
+    ) -> RTJQuery:
+        """Bind the spec to collections (one per vertex, in order) and build the query."""
+        names = self.vertex_names()
+        if isinstance(collections, Mapping):
+            bound = {name: collections[name] for name in names}
+        else:
+            if len(collections) < len(names):
+                raise ValueError(
+                    f"query {self.name} needs {len(names)} collections, got {len(collections)}"
+                )
+            bound = dict(zip(names, collections))
+        builder = QueryBuilder(name=self.name, params=params)
+        for name in names:
+            builder.add_collection(name, bound[name])
+        for source, target, predicate in self.predicates:
+            builder.add_predicate(f"x{source}", f"x{target}", predicate)
+        return builder.top(k).build()
+
+
+QUERIES: dict[str, QuerySpec] = {
+    "Qb,b": QuerySpec("Qb,b", ((1, 2, "before"), (2, 3, "before"))),
+    "Qf,f": QuerySpec("Qf,f", ((1, 2, "finishedBy"), (2, 3, "finishedBy"))),
+    "Qo,o": QuerySpec("Qo,o", ((1, 2, "overlaps"), (2, 3, "overlaps"))),
+    "Qs,f,m": QuerySpec(
+        "Qs,f,m", ((1, 2, "starts"), (2, 3, "finishedBy"), (1, 3, "meets"))
+    ),
+    "Qs,s": QuerySpec("Qs,s", ((1, 2, "starts"), (2, 3, "starts"))),
+    "Qf,b": QuerySpec("Qf,b", ((1, 2, "finishedBy"), (2, 3, "before"))),
+    "Qo,m": QuerySpec("Qo,m", ((1, 2, "overlaps"), (2, 3, "meets"))),
+    "Qs,m": QuerySpec("Qs,m", ((1, 2, "starts"), (2, 3, "meets"))),
+    "QjB,jB": QuerySpec("QjB,jB", ((1, 2, "justBefore"), (2, 3, "justBefore"))),
+    "QsM,sM": QuerySpec("QsM,sM", ((1, 2, "shiftMeets"), (2, 3, "shiftMeets"))),
+}
+"""The fixed 3-way queries of Table 1 (the starred families come from :func:`star_spec`)."""
+
+
+_STAR_PREDICATES = {"Qb*": "before", "Qo*": "overlaps", "Qm*": "meets"}
+
+
+def star_spec(family: str, num_vertices: int) -> QuerySpec:
+    """The star-shaped queries Qb*, Qo*, Qm* of Table 1 for a given number of vertices.
+
+    All predicates share ``x1`` as source: ``p(x1, x2), ..., p(x1, xn)``.
+    """
+    if family not in _STAR_PREDICATES:
+        raise KeyError(f"unknown star family {family!r}; expected one of {sorted(_STAR_PREDICATES)}")
+    if num_vertices < 2:
+        raise ValueError("star queries need at least two vertices")
+    predicate = _STAR_PREDICATES[family]
+    edges = tuple((1, j, predicate) for j in range(2, num_vertices + 1))
+    return QuerySpec(f"{family}(n={num_vertices})", edges)
+
+
+def build_query(
+    name: str,
+    collections: Sequence[IntervalCollection] | Mapping[str, IntervalCollection],
+    params: PredicateParams | str = "P1",
+    k: int = 100,
+    num_vertices: int | None = None,
+) -> RTJQuery:
+    """Build a Table 1 query by name (``'Qs,m'``, ``'Qb*'``...) over given collections."""
+    if isinstance(params, str):
+        params = PARAMETERS[params]
+    if name in _STAR_PREDICATES:
+        if num_vertices is None:
+            raise ValueError(f"query {name} needs num_vertices")
+        spec = star_spec(name, num_vertices)
+    else:
+        spec = QUERIES[name]
+    return spec.build(collections, params, k)

@@ -1,0 +1,18 @@
+"""Spatial index substrate: an STR-packed R-tree and score-threshold lookups."""
+
+from .interval_index import (
+    CompiledPredicateQuery,
+    ThresholdIndex,
+    threshold_box,
+    threshold_difference_range,
+)
+from .rtree import Rect, RTree
+
+__all__ = [
+    "CompiledPredicateQuery",
+    "ThresholdIndex",
+    "threshold_box",
+    "threshold_difference_range",
+    "Rect",
+    "RTree",
+]

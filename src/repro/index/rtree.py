@@ -1,0 +1,151 @@
+"""A small in-memory R-tree over (start, end) points.
+
+The paper's reducers keep their input intervals in R-trees and issue score-threshold
+lookups against them.  Intervals are indexed as 2-D points ``(start, end)``; queries
+are axis-aligned boxes.  The tree is bulk-loaded with the Sort-Tile-Recursive (STR)
+packing algorithm, which is simple, produces well-filled nodes and needs no
+insertion logic (reducer inputs are static).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..temporal.interval import Interval
+
+__all__ = ["Rect", "RTree"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """Axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    max_x: float
+    min_y: float
+    max_y: float
+
+    def intersects(self, other: "Rect") -> bool:
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    @staticmethod
+    def everything() -> "Rect":
+        inf = float("inf")
+        return Rect(-inf, inf, -inf, inf)
+
+    @staticmethod
+    def bounding(rects: Sequence["Rect"]) -> "Rect":
+        return Rect(
+            min(r.min_x for r in rects),
+            max(r.max_x for r in rects),
+            min(r.min_y for r in rects),
+            max(r.max_y for r in rects),
+        )
+
+
+@dataclass(slots=True)
+class _Node:
+    """An R-tree node: leaves hold intervals, inner nodes hold children."""
+
+    rect: Rect
+    children: list["_Node"]
+    entries: list[Interval]
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class RTree:
+    """Static STR-packed R-tree over intervals viewed as (start, end) points."""
+
+    def __init__(self, intervals: Iterable[Interval], leaf_capacity: int = 32) -> None:
+        if leaf_capacity < 2:
+            raise ValueError("leaf_capacity must be at least 2")
+        self._leaf_capacity = leaf_capacity
+        items = list(intervals)
+        self._size = len(items)
+        self._root = self._bulk_load(items) if items else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ---------------------------------------------------------------- building
+    def _bulk_load(self, items: list[Interval]) -> _Node:
+        leaves = self._pack_leaves(items)
+        nodes = leaves
+        while len(nodes) > 1:
+            nodes = self._pack_level(nodes)
+        return nodes[0]
+
+    def _pack_leaves(self, items: list[Interval]) -> list[_Node]:
+        capacity = self._leaf_capacity
+        count = len(items)
+        num_leaves = math.ceil(count / capacity)
+        num_slabs = max(1, math.ceil(math.sqrt(num_leaves)))
+        slab_size = math.ceil(count / num_slabs)
+        ordered = sorted(items, key=lambda x: (x.start, x.end))
+        leaves: list[_Node] = []
+        for slab_index in range(num_slabs):
+            slab = ordered[slab_index * slab_size:(slab_index + 1) * slab_size]
+            slab.sort(key=lambda x: (x.end, x.start))
+            for offset in range(0, len(slab), capacity):
+                chunk = slab[offset:offset + capacity]
+                rect = Rect(
+                    min(x.start for x in chunk),
+                    max(x.start for x in chunk),
+                    min(x.end for x in chunk),
+                    max(x.end for x in chunk),
+                )
+                leaves.append(_Node(rect, [], chunk))
+        return leaves
+
+    def _pack_level(self, nodes: list[_Node]) -> list[_Node]:
+        capacity = self._leaf_capacity
+        count = len(nodes)
+        num_parents = math.ceil(count / capacity)
+        num_slabs = max(1, math.ceil(math.sqrt(num_parents)))
+        slab_size = math.ceil(count / num_slabs)
+        ordered = sorted(nodes, key=lambda n: (n.rect.min_x, n.rect.min_y))
+        parents: list[_Node] = []
+        for slab_index in range(num_slabs):
+            slab = ordered[slab_index * slab_size:(slab_index + 1) * slab_size]
+            slab.sort(key=lambda n: (n.rect.min_y, n.rect.min_x))
+            for offset in range(0, len(slab), capacity):
+                chunk = slab[offset:offset + capacity]
+                rect = Rect.bounding([n.rect for n in chunk])
+                parents.append(_Node(rect, chunk, []))
+        return parents
+
+    # ---------------------------------------------------------------- querying
+    def query(self, box: Rect) -> list[Interval]:
+        """All indexed intervals whose (start, end) point lies inside ``box``."""
+        if self._root is None:
+            return []
+        result: list[Interval] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(box):
+                continue
+            if node.is_leaf:
+                for interval in node.entries:
+                    if box.contains_point(interval.start, interval.end):
+                        result.append(interval)
+            else:
+                stack.extend(node.children)
+        return result
+
+    def all(self) -> list[Interval]:
+        """All indexed intervals (no filtering)."""
+        return self.query(Rect.everything())

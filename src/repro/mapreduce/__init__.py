@@ -1,0 +1,28 @@
+"""Simulated Map-Reduce substrate: jobs, partitioners, engine and metrics."""
+
+from .cluster import ClusterConfig, JobMetrics, TaskMetrics
+from .counters import Counters
+from .engine import JobResult, MapReduceEngine
+from .job import (
+    HashPartitioner,
+    MapReduceJob,
+    Mapper,
+    Partitioner,
+    Reducer,
+    RoutingPartitioner,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "JobMetrics",
+    "TaskMetrics",
+    "Counters",
+    "JobResult",
+    "MapReduceEngine",
+    "HashPartitioner",
+    "MapReduceJob",
+    "Mapper",
+    "Partitioner",
+    "Reducer",
+    "RoutingPartitioner",
+]

@@ -1,0 +1,90 @@
+"""Cluster configuration and job metrics.
+
+The paper's experiments run on an 8-node Hadoop cluster with 6 workers and 24
+reducers.  The simulated engine executes tasks sequentially in-process but keeps
+the same bookkeeping a real cluster would expose: per-task wall-clock time, shuffle
+volume and counters, so that load imbalance and replication cost can be measured
+the way the paper measures them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .counters import Counters
+
+__all__ = ["ClusterConfig", "TaskMetrics", "JobMetrics"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated cluster.
+
+    ``num_reducers`` mirrors the paper's 24 reducers (scaled down by default);
+    ``num_mappers`` controls how input splits are formed in the map phase.
+    """
+
+    num_reducers: int = 8
+    num_mappers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_reducers <= 0 or self.num_mappers <= 0:
+            raise ValueError("cluster sizes must be positive")
+
+
+@dataclass
+class TaskMetrics:
+    """Wall-clock time and record counts of one map or reduce task."""
+
+    task_id: int
+    elapsed_seconds: float = 0.0
+    input_records: int = 0
+    output_records: int = 0
+
+
+@dataclass
+class JobMetrics:
+    """Aggregate metrics of one executed Map-Reduce job."""
+
+    job_name: str
+    map_tasks: list[TaskMetrics] = field(default_factory=list)
+    reduce_tasks: list[TaskMetrics] = field(default_factory=list)
+    shuffle_records: int = 0
+    shuffle_size: int = 0
+    counters: Counters = field(default_factory=Counters)
+    elapsed_seconds: float = 0.0
+
+    # -------------------------------------------------------------- summaries
+    @property
+    def max_reduce_seconds(self) -> float:
+        """Running time of the slowest reduce task (Figure 8b)."""
+        if not self.reduce_tasks:
+            return 0.0
+        return max(task.elapsed_seconds for task in self.reduce_tasks)
+
+    @property
+    def avg_reduce_seconds(self) -> float:
+        """Mean reduce-task running time."""
+        if not self.reduce_tasks:
+            return 0.0
+        return sum(task.elapsed_seconds for task in self.reduce_tasks) / len(self.reduce_tasks)
+
+    @property
+    def imbalance(self) -> float:
+        """``max / avg`` reduce-task time, the imbalance metric of Figure 10b."""
+        avg = self.avg_reduce_seconds
+        if avg == 0.0:
+            return 1.0
+        return self.max_reduce_seconds / avg
+
+    def describe(self) -> dict[str, float]:
+        """Flat summary used by the experiment reports."""
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "shuffle_records": float(self.shuffle_records),
+            "shuffle_size": float(self.shuffle_size),
+            "max_reduce_seconds": self.max_reduce_seconds,
+            "avg_reduce_seconds": self.avg_reduce_seconds,
+            "imbalance": self.imbalance,
+            "num_reduce_tasks": float(len(self.reduce_tasks)),
+        }

@@ -1,0 +1,45 @@
+"""Job counters.
+
+Map-Reduce implementations expose named counters that tasks increment; TKIJ's
+evaluation relies on them to report shuffle volume (records replicated to several
+reducers), the number of candidate results evaluated, and the number pruned.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import ItemsView
+
+__all__ = ["Counters"]
+
+
+@dataclass
+class Counters:
+    """A bag of named integer counters."""
+
+    values: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero if absent)."""
+        self.values[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.values.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Add every counter of ``other`` into this bag."""
+        for name, value in other.values.items():
+            self.values[name] += value
+
+    def items(self) -> ItemsView[str, int]:
+        return self.values.items()
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot (for reports)."""
+        return dict(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.values.items()))
+        return f"Counters({inner})"

@@ -1,0 +1,145 @@
+"""In-process Map-Reduce engine.
+
+This is the execution substrate that stands in for Hadoop (see DESIGN.md §2).  The
+engine runs a :class:`~repro.mapreduce.job.MapReduceJob` over an in-memory input,
+reproducing the dataflow of a real cluster:
+
+1. the input is split into ``num_mappers`` splits and each split is mapped by a
+   fresh mapper instance (per-task timing recorded);
+2. intermediate pairs are shuffled to ``num_reducers`` partitions according to the
+   job's partitioner, counting shuffled records and their estimated size;
+3. each partition is reduced by a fresh reducer instance, grouping values by key
+   (per-task timing recorded — the quantity behind the paper's "max time reducer"
+   and imbalance plots).
+
+Execution is sequential and deterministic; all parallelism-sensitive quantities
+(replication, balance) are measured rather than simulated with random delays.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .cluster import ClusterConfig, JobMetrics, TaskMetrics
+from .counters import Counters
+from .job import KeyValue, MapReduceJob
+
+__all__ = ["JobResult", "MapReduceEngine"]
+
+
+@dataclass
+class JobResult:
+    """Output pairs and metrics of one executed job."""
+
+    outputs: list[KeyValue]
+    metrics: JobMetrics
+    reducer_outputs: list[list[KeyValue]] = field(default_factory=list)
+
+    @property
+    def counters(self) -> Counters:
+        return self.metrics.counters
+
+
+class MapReduceEngine:
+    """Executes Map-Reduce jobs on the simulated cluster."""
+
+    def __init__(self, cluster: ClusterConfig | None = None) -> None:
+        self.cluster = cluster or ClusterConfig()
+        self.history: list[JobMetrics] = []
+
+    # ------------------------------------------------------------------ public
+    def run(self, job: MapReduceJob, input_pairs: Iterable[KeyValue]) -> JobResult:
+        """Run ``job`` over ``input_pairs`` and return outputs plus metrics."""
+        started = time.perf_counter()
+        metrics = JobMetrics(job_name=job.name)
+        records = list(input_pairs)
+
+        intermediate = self._run_map_phase(job, records, metrics)
+        partitions = self._shuffle(job, intermediate, metrics)
+        outputs, per_reducer = self._run_reduce_phase(job, partitions, metrics)
+
+        metrics.elapsed_seconds = time.perf_counter() - started
+        self.history.append(metrics)
+        return JobResult(outputs=outputs, metrics=metrics, reducer_outputs=per_reducer)
+
+    # ------------------------------------------------------------------- phases
+    def _run_map_phase(
+        self, job: MapReduceJob, records: Sequence[KeyValue], metrics: JobMetrics
+    ) -> list[KeyValue]:
+        splits = self._split(records, self.cluster.num_mappers)
+        intermediate: list[KeyValue] = []
+        for task_id, split in enumerate(splits):
+            mapper = job.mapper_factory()
+            task_counters = Counters()
+            mapper.setup(task_counters)
+            task = TaskMetrics(task_id=task_id, input_records=len(split))
+            task_start = time.perf_counter()
+            for key, value in split:
+                for out_key, out_value in mapper.map(key, value):
+                    intermediate.append((out_key, out_value))
+                    task.output_records += 1
+            task.elapsed_seconds = time.perf_counter() - task_start
+            metrics.map_tasks.append(task)
+            metrics.counters.merge(task_counters)
+        return intermediate
+
+    def _shuffle(
+        self, job: MapReduceJob, intermediate: Sequence[KeyValue], metrics: JobMetrics
+    ) -> list[dict[Any, list[Any]]]:
+        num_reducers = job.num_reducers or self.cluster.num_reducers
+        partitioner = job.make_partitioner()
+        partitions: list[dict[Any, list[Any]]] = [defaultdict(list) for _ in range(num_reducers)]
+        for key, value in intermediate:
+            reducer_index = partitioner.partition(key, num_reducers)
+            partitions[reducer_index][key].append(value)
+            metrics.shuffle_records += 1
+            metrics.shuffle_size += job.record_size(key, value)
+        return partitions
+
+    def _run_reduce_phase(
+        self,
+        job: MapReduceJob,
+        partitions: Sequence[dict[Any, list[Any]]],
+        metrics: JobMetrics,
+    ) -> tuple[list[KeyValue], list[list[KeyValue]]]:
+        outputs: list[KeyValue] = []
+        per_reducer: list[list[KeyValue]] = []
+        for task_id, partition in enumerate(partitions):
+            reducer = job.reducer_factory()
+            task_counters = Counters()
+            reducer.setup(task_counters)
+            task = TaskMetrics(
+                task_id=task_id,
+                input_records=sum(len(values) for values in partition.values()),
+            )
+            reducer_output: list[KeyValue] = []
+            task_start = time.perf_counter()
+            for key in sorted(partition.keys(), key=_sort_key):
+                for out in reducer.reduce(key, partition[key]):
+                    reducer_output.append(out)
+            for out in reducer.cleanup():
+                reducer_output.append(out)
+            task.elapsed_seconds = time.perf_counter() - task_start
+            task.output_records = len(reducer_output)
+            metrics.reduce_tasks.append(task)
+            metrics.counters.merge(task_counters)
+            outputs.extend(reducer_output)
+            per_reducer.append(reducer_output)
+        return outputs, per_reducer
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def _split(records: Sequence[KeyValue], num_splits: int) -> list[list[KeyValue]]:
+        """Round-robin the input into ``num_splits`` splits (empty splits allowed)."""
+        splits: list[list[KeyValue]] = [[] for _ in range(num_splits)]
+        for index, record in enumerate(records):
+            splits[index % num_splits].append(record)
+        return splits
+
+
+def _sort_key(key: Any) -> Any:
+    """Deterministic ordering of heterogeneous keys inside a partition."""
+    return (str(type(key)), repr(key))

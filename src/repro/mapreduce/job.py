@@ -1,0 +1,122 @@
+"""Map-Reduce job interfaces.
+
+The simulated engine executes jobs expressed with the classic interface of Dean &
+Ghemawat: a mapper emits ``(key, value)`` pairs for every input record, pairs are
+shuffled to reducers by a partitioner, and each reducer folds the values of every
+key it owns.  Jobs may declare a custom partitioner (TKIJ routes buckets to the
+reducers chosen by DTB rather than by hash) and a record-size estimator used for
+shuffle-volume accounting.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from .counters import Counters
+
+__all__ = ["Mapper", "Reducer", "Partitioner", "HashPartitioner", "RoutingPartitioner", "MapReduceJob"]
+
+KeyValue = tuple[Any, Any]
+
+
+class Mapper(ABC):
+    """Transforms one input record into zero or more ``(key, value)`` pairs."""
+
+    def setup(self, counters: Counters) -> None:
+        """Called once before the task processes its split."""
+        self.counters = counters
+
+    @abstractmethod
+    def map(self, key: Any, value: Any) -> Iterator[KeyValue]:
+        """Emit intermediate pairs for one input record."""
+
+
+class Reducer(ABC):
+    """Folds all values of one intermediate key into zero or more output pairs."""
+
+    def setup(self, counters: Counters) -> None:
+        """Called once before the task processes its partition."""
+        self.counters = counters
+
+    @abstractmethod
+    def reduce(self, key: Any, values: list[Any]) -> Iterator[KeyValue]:
+        """Emit output pairs for one key and all of its values."""
+
+    def cleanup(self) -> Iterator[KeyValue]:
+        """Emit trailing output after every key of the partition was reduced."""
+        return iter(())
+
+
+class Partitioner(ABC):
+    """Chooses the reducer responsible for an intermediate key."""
+
+    @abstractmethod
+    def partition(self, key: Any, num_reducers: int) -> int:
+        """Index (0-based) of the reducer that receives ``key``."""
+
+
+class HashPartitioner(Partitioner):
+    """Default partitioner: stable hash of the key modulo the reducer count."""
+
+    def partition(self, key: Any, num_reducers: int) -> int:
+        return _stable_hash(key) % num_reducers
+
+
+class RoutingPartitioner(Partitioner):
+    """Partitioner driven by an explicit routing table.
+
+    TKIJ's join phase uses this to send every (bucket, interval) pair to exactly
+    the reducers DTB selected.  Keys missing from the table fall back to hashing.
+    """
+
+    def __init__(self, routing: dict[Any, int]) -> None:
+        self._routing = routing
+
+    def partition(self, key: Any, num_reducers: int) -> int:
+        if key in self._routing:
+            return self._routing[key] % num_reducers
+        return _stable_hash(key) % num_reducers
+
+
+def _stable_hash(key: Any) -> int:
+    """Deterministic, process-independent hash for keys made of primitives/tuples."""
+    if isinstance(key, tuple):
+        value = 1469598103
+        for item in key:
+            value = (value * 1099511628211 + _stable_hash(item)) % (2 ** 61 - 1)
+        return value
+    if isinstance(key, str):
+        value = 1469598103
+        for char in key:
+            value = (value * 31 + ord(char)) % (2 ** 61 - 1)
+        return value
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key % (2 ** 61 - 1)
+    if isinstance(key, float):
+        return int(key * 1000003) % (2 ** 61 - 1)
+    return abs(hash(key))
+
+
+@dataclass
+class MapReduceJob:
+    """A complete job description handed to the engine.
+
+    ``record_size`` estimates the size (in abstract units, e.g. records) of one
+    shuffled value; the engine multiplies it into the shuffle counters so that the
+    I/O comparisons of the paper (Figure 8's shuffle-cost discussion) can be
+    reproduced without serialising anything.
+    """
+
+    name: str
+    mapper_factory: Callable[[], Mapper]
+    reducer_factory: Callable[[], Reducer]
+    partitioner: Partitioner | None = None
+    num_reducers: int = 1
+    record_size: Callable[[Any, Any], int] = lambda key, value: 1
+
+    def make_partitioner(self) -> Partitioner:
+        return self.partitioner if self.partitioner is not None else HashPartitioner()

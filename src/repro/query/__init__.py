@@ -1,0 +1,6 @@
+"""RTJ query model: graphs, edges, result tuples and a fluent builder."""
+
+from .builder import QueryBuilder
+from .graph import QueryEdge, ResultTuple, RTJQuery
+
+__all__ = ["QueryBuilder", "QueryEdge", "ResultTuple", "RTJQuery"]

@@ -1,0 +1,126 @@
+"""Fluent builder for RTJ queries.
+
+The builder is the public entry point for composing queries: bind collections to
+vertex names, attach scored predicates to edges (by name or as
+:class:`~repro.temporal.predicates.ScoredPredicate` objects), pick ``k`` and the
+aggregation function, then :meth:`QueryBuilder.build`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from typing import Sequence
+
+from ..temporal.aggregation import Aggregation
+from ..temporal.attributes import AttributeConstraint
+from ..temporal.comparators import PredicateParams
+from ..temporal.interval import IntervalCollection
+from ..temporal.predicates import ScoredPredicate, predicate_by_name
+from .graph import QueryEdge, RTJQuery
+
+__all__ = ["QueryBuilder"]
+
+
+class QueryBuilder:
+    """Incrementally assemble an :class:`~repro.query.graph.RTJQuery`.
+
+    Example
+    -------
+    >>> from repro.temporal import PredicateParams
+    >>> builder = (QueryBuilder(name="Qs,m", params=PredicateParams.of(4, 16, 0, 10))
+    ...            .add_collection("x1", c1)
+    ...            .add_collection("x2", c2)
+    ...            .add_collection("x3", c3)
+    ...            .add_predicate("x1", "x2", "starts")
+    ...            .add_predicate("x2", "x3", "meets")
+    ...            .top(100))
+    >>> query = builder.build()
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        params: PredicateParams | None = None,
+    ) -> None:
+        self._name = name
+        self._params = params or PredicateParams.of(4.0, 16.0, 0.0, 10.0)
+        self._vertices: list[str] = []
+        self._collections: dict[str, IntervalCollection] = {}
+        self._edges: list[QueryEdge] = []
+        self._k = 100
+        self._aggregation: Aggregation | None = None
+
+    # ------------------------------------------------------------------ inputs
+    def add_collection(self, vertex: str, collection: IntervalCollection) -> "QueryBuilder":
+        """Bind ``collection`` to a new vertex named ``vertex``."""
+        if vertex in self._collections:
+            raise ValueError(f"vertex {vertex!r} already defined")
+        self._vertices.append(vertex)
+        self._collections[vertex] = collection
+        return self
+
+    def add_collections(
+        self, collections: Mapping[str, IntervalCollection]
+    ) -> "QueryBuilder":
+        """Bind several collections at once (in mapping order)."""
+        for vertex, collection in collections.items():
+            self.add_collection(vertex, collection)
+        return self
+
+    # ------------------------------------------------------------------- edges
+    def add_predicate(
+        self,
+        source: str,
+        target: str,
+        predicate: str | ScoredPredicate,
+        params: PredicateParams | None = None,
+        attributes: Sequence[AttributeConstraint] | None = None,
+    ) -> "QueryBuilder":
+        """Add an edge ``source -> target`` labelled with a scored predicate.
+
+        ``predicate`` may be a predicate name (resolved through
+        :func:`~repro.temporal.predicates.predicate_by_name`, with the source
+        collection's average length supplied for the extended predicates) or an
+        already-built :class:`ScoredPredicate`.  ``attributes`` attaches payload
+        constraints (hybrid queries), e.g. "different countries".
+        """
+        if source not in self._collections or target not in self._collections:
+            raise ValueError("add collections before predicates")
+        if isinstance(predicate, str):
+            avg = self._collections[source].average_length() if len(self._collections[source]) else None
+            predicate_obj = predicate_by_name(predicate, params or self._params, avg_length=avg)
+        else:
+            predicate_obj = predicate if params is None else predicate.with_params(params)
+        self._edges.append(
+            QueryEdge(source, target, predicate_obj, tuple(attributes or ()))
+        )
+        return self
+
+    # ----------------------------------------------------------------- options
+    def top(self, k: int) -> "QueryBuilder":
+        """Set the number of results to return."""
+        self._k = k
+        return self
+
+    def aggregate_with(self, aggregation: Aggregation) -> "QueryBuilder":
+        """Use a custom monotone aggregation function instead of the average."""
+        self._aggregation = aggregation
+        return self
+
+    def scoring(self, params: PredicateParams) -> "QueryBuilder":
+        """Set the default scoring parameters for predicates added afterwards."""
+        self._params = params
+        return self
+
+    # ------------------------------------------------------------------- build
+    def build(self) -> RTJQuery:
+        """Validate and return the query."""
+        return RTJQuery(
+            vertices=tuple(self._vertices),
+            collections=dict(self._collections),
+            edges=tuple(self._edges),
+            k=self._k,
+            aggregation=self._aggregation,
+            name=self._name,
+        )

@@ -1,0 +1,19 @@
+"""Bound solver substrate: box domains, objectives and branch-and-bound bounds.
+
+This package replaces the Choco constraint-programming solver the paper uses to
+solve the Bounds Problem (Section 3.3); see DESIGN.md for the substitution
+rationale.
+"""
+
+from .domain import DomainSet, VariableBox
+from .objective import AggregateObjective, EdgeObjective
+from .optimizer import BranchAndBoundSolver, SolverStats
+
+__all__ = [
+    "DomainSet",
+    "VariableBox",
+    "AggregateObjective",
+    "EdgeObjective",
+    "BranchAndBoundSolver",
+    "SolverStats",
+]

@@ -1,0 +1,109 @@
+"""Attribute constraints for hybrid RTJ queries.
+
+The paper's conclusion lists, as future work, "the integration of interval
+attributes (e.g. IP address for a connection) in the join conditions, to build
+hybrid queries"; its introduction motivates exactly such a query: pairs of traffic
+requests ``(x, y)`` where ``x`` ends before ``y`` starts *and the two requests
+originate from different countries*.
+
+This module implements that extension: an :class:`AttributeConstraint` is a Boolean
+condition over the payloads of the two intervals joined by a query edge.  Attribute
+constraints are filters — they do not contribute to the score — and a result tuple
+is returned only if every constraint of every edge holds.  Because bucket
+statistics are purely temporal, TKIJ evaluates hybrid queries without
+count-based pruning (see :mod:`repro.core.top_buckets`); attribute-aware statistics
+are the natural next step and are out of scope here, as in the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from .interval import Interval
+
+__all__ = [
+    "AttributeConstraint",
+    "AttributeEquals",
+    "AttributeDiffers",
+    "PayloadPredicate",
+]
+
+
+def _field(payload: Any, key: str) -> Any:
+    """Fetch ``key`` from a payload that may be a mapping or an arbitrary object."""
+    if payload is None:
+        return None
+    if isinstance(payload, Mapping):
+        return payload.get(key)
+    return getattr(payload, key, None)
+
+
+class AttributeConstraint(ABC):
+    """A Boolean condition over the payloads of the two intervals of a query edge."""
+
+    @abstractmethod
+    def matches(self, source: Interval, target: Interval) -> bool:
+        """True when the pair satisfies the constraint."""
+
+    def describe(self) -> str:
+        """Human-readable rendering used by query reprs."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class AttributeEquals(AttributeConstraint):
+    """Both intervals carry the same value for ``key`` (an equi-join on the attribute).
+
+    ``target_key`` allows joining different field names (e.g. the server of one
+    connection against the client of the next).  Pairs where either side lacks the
+    attribute never match.
+    """
+
+    key: str
+    target_key: str | None = None
+
+    def matches(self, source: Interval, target: Interval) -> bool:
+        left = _field(source.payload, self.key)
+        right = _field(target.payload, self.target_key or self.key)
+        return left is not None and left == right
+
+    def describe(self) -> str:
+        right = self.target_key or self.key
+        return f"{self.key} == {right}"
+
+
+@dataclass(frozen=True)
+class AttributeDiffers(AttributeConstraint):
+    """The two intervals carry different values for ``key``.
+
+    This is the introduction's motivating constraint ("x and y originate from
+    different countries").  Pairs where either side lacks the attribute never match.
+    """
+
+    key: str
+    target_key: str | None = None
+
+    def matches(self, source: Interval, target: Interval) -> bool:
+        left = _field(source.payload, self.key)
+        right = _field(target.payload, self.target_key or self.key)
+        return left is not None and right is not None and left != right
+
+    def describe(self) -> str:
+        right = self.target_key or self.key
+        return f"{self.key} != {right}"
+
+
+@dataclass(frozen=True)
+class PayloadPredicate(AttributeConstraint):
+    """Escape hatch: an arbitrary Boolean function of the two payloads."""
+
+    name: str
+    predicate: Callable[[Any, Any], bool]
+
+    def matches(self, source: Interval, target: Interval) -> bool:
+        return bool(self.predicate(source.payload, target.payload))
+
+    def describe(self) -> str:
+        return self.name

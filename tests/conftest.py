@@ -1,0 +1,69 @@
+"""Shared fixtures: small deterministic collections and queries used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import SyntheticConfig, generate_collections
+from repro.experiments import PARAMETERS, build_query
+from repro.temporal import Interval, IntervalCollection, PredicateParams
+
+
+@pytest.fixture(scope="session")
+def p1() -> PredicateParams:
+    """The paper's P1 parameter set."""
+    return PARAMETERS["P1"]
+
+
+@pytest.fixture(scope="session")
+def pb() -> PredicateParams:
+    """The Boolean parameter set PB."""
+    return PARAMETERS["PB"]
+
+
+@pytest.fixture(scope="session")
+def tiny_collections() -> list[IntervalCollection]:
+    """Three tiny dense collections (40 intervals each) for oracle comparisons."""
+    config = SyntheticConfig(size=40, start_max=800.0, length_max=60.0)
+    return list(generate_collections(3, config, seed=101).values())
+
+
+@pytest.fixture(scope="session")
+def small_collections() -> list[IntervalCollection]:
+    """Three small collections (150 intervals each) for pipeline tests."""
+    config = SyntheticConfig(size=150, start_max=5_000.0)
+    return list(generate_collections(3, config, seed=202).values())
+
+
+@pytest.fixture(scope="session")
+def pair_collections() -> list[IntervalCollection]:
+    """Two small dense collections for binary-query tests."""
+    config = SyntheticConfig(size=80, start_max=1_500.0)
+    return list(generate_collections(2, config, seed=303).values())
+
+
+@pytest.fixture()
+def handmade_collection() -> IntervalCollection:
+    """A handmade collection with known, easy-to-reason-about intervals."""
+    return IntervalCollection(
+        "handmade",
+        [
+            Interval(0, 0.0, 10.0),
+            Interval(1, 10.0, 20.0),
+            Interval(2, 12.0, 30.0),
+            Interval(3, 25.0, 40.0),
+            Interval(4, 40.0, 41.0),
+        ],
+    )
+
+
+@pytest.fixture()
+def qsm_query(tiny_collections, p1):
+    """The Qs,m query (starts, meets) over the tiny collections, k=10."""
+    return build_query("Qs,m", tiny_collections, p1, k=10)
+
+
+@pytest.fixture()
+def qbb_query(tiny_collections, p1):
+    """The Qb,b query (before, before) over the tiny collections, k=10."""
+    return build_query("Qb,b", tiny_collections, p1, k=10)

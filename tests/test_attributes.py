@@ -1,0 +1,181 @@
+"""Tests for hybrid queries: attribute constraints on join edges (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro import TKIJ, ClusterConfig
+from repro.baselines import naive_top_k
+from repro.query import QueryBuilder
+from repro.temporal import (
+    AttributeDiffers,
+    AttributeEquals,
+    Interval,
+    IntervalCollection,
+    PayloadPredicate,
+    PredicateParams,
+)
+
+P1 = PredicateParams.of(4, 16, 0, 10)
+
+
+def iv(uid, start, end, **payload):
+    return Interval(uid, start, end, payload=payload)
+
+
+class TestConstraints:
+    def test_attribute_equals(self):
+        constraint = AttributeEquals("country")
+        assert constraint.matches(iv(0, 0, 1, country="FR"), iv(1, 2, 3, country="FR"))
+        assert not constraint.matches(iv(0, 0, 1, country="FR"), iv(1, 2, 3, country="DE"))
+
+    def test_attribute_equals_missing_value_never_matches(self):
+        constraint = AttributeEquals("country")
+        assert not constraint.matches(iv(0, 0, 1), iv(1, 2, 3, country="FR"))
+        assert not constraint.matches(iv(0, 0, 1), iv(1, 2, 3))
+
+    def test_attribute_equals_cross_keys(self):
+        constraint = AttributeEquals("server", target_key="client")
+        assert constraint.matches(iv(0, 0, 1, server=9), iv(1, 2, 3, client=9))
+        assert not constraint.matches(iv(0, 0, 1, server=9), iv(1, 2, 3, client=8))
+
+    def test_attribute_differs(self):
+        constraint = AttributeDiffers("country")
+        assert constraint.matches(iv(0, 0, 1, country="FR"), iv(1, 2, 3, country="DE"))
+        assert not constraint.matches(iv(0, 0, 1, country="FR"), iv(1, 2, 3, country="FR"))
+        assert not constraint.matches(iv(0, 0, 1), iv(1, 2, 3, country="FR"))
+
+    def test_payload_predicate(self):
+        constraint = PayloadPredicate(
+            "same-subnet", lambda a, b: a["ip"].split(".")[0] == b["ip"].split(".")[0]
+        )
+        assert constraint.matches(iv(0, 0, 1, ip="10.0.0.1"), iv(1, 2, 3, ip="10.1.2.3"))
+        assert not constraint.matches(iv(0, 0, 1, ip="10.0.0.1"), iv(1, 2, 3, ip="192.168.0.1"))
+
+    def test_object_payloads(self):
+        class Meta:
+            def __init__(self, country):
+                self.country = country
+
+        constraint = AttributeEquals("country")
+        assert constraint.matches(
+            Interval(0, 0, 1, Meta("FR")), Interval(1, 2, 3, Meta("FR"))
+        )
+
+    def test_describe(self):
+        assert AttributeEquals("country").describe() == "country == country"
+        assert AttributeDiffers("country", "origin").describe() == "country != origin"
+        assert PayloadPredicate("p", lambda a, b: True).describe() == "p"
+
+
+def _country_collections(size=60, seed=5):
+    rng = np.random.default_rng(seed)
+    countries = ["FR", "DE", "IT", "ES"]
+
+    def build(name, offset):
+        starts = rng.uniform(0, 800, size)
+        lengths = rng.uniform(1, 40, size)
+        return IntervalCollection(
+            name,
+            [
+                iv(i, float(s), float(s + l), country=countries[(i + offset) % len(countries)])
+                for i, (s, l) in enumerate(zip(starts, lengths))
+            ],
+        )
+
+    return build("A", 0), build("B", 1)
+
+
+def _hybrid_query(constraint, k=10):
+    left, right = _country_collections()
+    return (
+        QueryBuilder(name="hybrid", params=P1)
+        .add_collection("x", left)
+        .add_collection("y", right)
+        .add_predicate("x", "y", "before", attributes=[constraint])
+        .top(k)
+        .build()
+    )
+
+
+class TestHybridQueries:
+    def test_query_flags_attribute_constraints(self):
+        hybrid = _hybrid_query(AttributeDiffers("country"))
+        assert hybrid.has_attribute_constraints
+        left, right = _country_collections()
+        plain = (
+            QueryBuilder(params=P1)
+            .add_collection("x", left)
+            .add_collection("y", right)
+            .add_predicate("x", "y", "before")
+            .build()
+        )
+        assert not plain.has_attribute_constraints
+
+    def test_naive_respects_filters(self):
+        query = _hybrid_query(AttributeEquals("country"))
+        results = naive_top_k(query)
+        left = query.collections["x"]
+        right = query.collections["y"]
+        for result in results:
+            x = left.get(result.uids[0])
+            y = right.get(result.uids[1])
+            assert x.payload["country"] == y.payload["country"]
+
+    def test_boolean_holds_includes_attributes(self):
+        query = _hybrid_query(AttributeDiffers("country"))
+        left = query.collections["x"]
+        right = query.collections["y"]
+        same = next(
+            (x, y)
+            for x in left
+            for y in right
+            if x.payload["country"] == y.payload["country"] and x.end < y.start
+        )
+        assert not query.boolean_holds({"x": same[0], "y": same[1]})
+        assert not query.admits({"x": same[0], "y": same[1]})
+
+    @pytest.mark.parametrize(
+        "constraint",
+        [AttributeDiffers("country"), AttributeEquals("country")],
+    )
+    def test_tkij_matches_naive_on_hybrid_queries(self, constraint):
+        query = _hybrid_query(constraint, k=15)
+        tkij = TKIJ(num_granules=5, cluster=ClusterConfig(num_reducers=4, num_mappers=2))
+        result = tkij.execute(query)
+        expected = naive_top_k(query)
+        assert [round(r.score, 9) for r in result.results] == [
+            round(r.score, 9) for r in expected
+        ]
+
+    def test_hybrid_queries_skip_count_based_pruning(self):
+        query = _hybrid_query(AttributeDiffers("country"))
+        tkij = TKIJ(num_granules=5, cluster=ClusterConfig(num_reducers=4, num_mappers=2))
+        result = tkij.execute(query)
+        # Every combination is retained (pruning would not be sound with filters).
+        assert result.top_buckets.selected_count == result.top_buckets.total_combinations
+
+    def test_three_way_hybrid_chain(self):
+        left, right = _country_collections(size=35)
+        third = IntervalCollection("C", list(left.intervals))
+        query = (
+            QueryBuilder(name="chain", params=P1)
+            .add_collection("x", left)
+            .add_collection("y", right)
+            .add_collection("z", third)
+            .add_predicate("x", "y", "before", attributes=[AttributeDiffers("country")])
+            .add_predicate("y", "z", "before", attributes=[AttributeEquals("country")])
+            .top(8)
+            .build()
+        )
+        tkij = TKIJ(num_granules=4, cluster=ClusterConfig(num_reducers=3, num_mappers=2))
+        result = tkij.execute(query)
+        expected = naive_top_k(query)
+        assert [round(r.score, 9) for r in result.results] == [
+            round(r.score, 9) for r in expected
+        ]
+        for tuple_ in result.results:
+            x = left.get(tuple_.uids[0])
+            y = right.get(tuple_.uids[1])
+            z = third.get(tuple_.uids[2])
+            assert x.payload["country"] != y.payload["country"]
+            assert y.payload["country"] == z.payload["country"]

@@ -1,0 +1,128 @@
+"""Tests for the naive oracle and the Boolean-join baselines (All-Matrix, RCCIS)."""
+
+import pytest
+
+from repro.baselines import (
+    AllMatrixConfig,
+    AllMatrixJoin,
+    RCCISConfig,
+    RCCISJoin,
+    all_pair_scores,
+    naive_boolean_matches,
+    naive_top_k,
+)
+from repro.experiments import PARAMETERS, build_query
+from repro.mapreduce import ClusterConfig
+from repro.temporal import Interval, IntervalCollection
+from repro.temporal.predicates import before, meets
+
+
+@pytest.fixture()
+def chain_collections():
+    """Collections engineered so Boolean before/meets chains have known matches."""
+    c1 = IntervalCollection("c1", [Interval(0, 0, 10), Interval(1, 5, 15), Interval(2, 90, 95)])
+    c2 = IntervalCollection("c2", [Interval(0, 10, 20), Interval(1, 30, 40), Interval(2, 16, 25)])
+    c3 = IntervalCollection("c3", [Interval(0, 20, 30), Interval(1, 50, 60), Interval(2, 41, 42)])
+    return [c1, c2, c3]
+
+
+class TestNaive:
+    def test_top_k_sorted_and_capped(self, tiny_collections):
+        query = build_query("Qo,m", tiny_collections, "P1", k=7)
+        results = naive_top_k(query)
+        assert len(results) == 7
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_boolean_matches(self, chain_collections):
+        query = build_query("Qb,b", chain_collections, "PB", k=100)
+        matches = naive_boolean_matches(query)
+        assert all(r.score == 1.0 for r in matches)
+        # before(x1,x2) & before(x2,x3): count by hand.
+        expected = 0
+        for x in chain_collections[0]:
+            for y in chain_collections[1]:
+                for z in chain_collections[2]:
+                    if x.end < y.start and y.end < z.start:
+                        expected += 1
+        assert len(matches) == expected
+
+    def test_boolean_matches_limit(self, chain_collections):
+        query = build_query("Qb,b", chain_collections, "PB", k=100)
+        assert len(naive_boolean_matches(query, limit=1)) == 1
+
+    def test_all_pair_scores_sorted(self, pair_collections):
+        scores = all_pair_scores(meets(PARAMETERS["P1"]), pair_collections[0], pair_collections[1])
+        assert len(scores) == len(pair_collections[0]) * len(pair_collections[1])
+        assert all(scores[i] >= scores[i + 1] for i in range(len(scores) - 1))
+
+    def test_all_pair_scores_top_truncation(self, pair_collections):
+        scores = all_pair_scores(
+            before(PARAMETERS["P1"]), pair_collections[0], pair_collections[1], top=10
+        )
+        assert len(scores) == 10
+
+
+class TestAllMatrix:
+    def test_finds_boolean_matches(self, chain_collections):
+        query = build_query("Qb,b", chain_collections, "PB", k=50)
+        baseline = AllMatrixJoin(
+            cluster=ClusterConfig(num_reducers=4), config=AllMatrixConfig(num_partitions=3)
+        )
+        result = baseline.execute(query)
+        expected = naive_boolean_matches(query)
+        assert {r.uids for r in result.results} <= {r.uids for r in expected} or len(
+            result.results
+        ) == query.k
+        # Every returned tuple genuinely satisfies the Boolean query.
+        for r in result.results:
+            assignment = {
+                vertex: query.collections[vertex].get(uid)
+                for vertex, uid in zip(query.vertices, r.uids)
+            }
+            assert query.boolean_holds(assignment)
+
+    def test_respects_k(self, small_collections):
+        query = build_query("Qb,b", small_collections, "PB", k=5)
+        baseline = AllMatrixJoin(cluster=ClusterConfig(num_reducers=4))
+        result = baseline.execute(query)
+        assert len(result.results) <= 5
+
+    def test_metrics_reported(self, chain_collections):
+        query = build_query("Qb,b", chain_collections, "PB", k=5)
+        result = AllMatrixJoin(cluster=ClusterConfig(num_reducers=2)).execute(query)
+        assert result.name == "All-Matrix"
+        assert result.shuffle_records > 0
+        assert result.elapsed_seconds > 0
+        assert "phase0_seconds" in result.describe()
+
+
+class TestRCCIS:
+    def test_finds_colocation_matches(self, chain_collections):
+        query = build_query("Qo,m", chain_collections, "PB", k=50)
+        baseline = RCCISJoin(
+            cluster=ClusterConfig(num_reducers=4), config=RCCISConfig(num_granules=4)
+        )
+        result = baseline.execute(query)
+        expected = {r.uids for r in naive_boolean_matches(query)}
+        got = {r.uids for r in result.results}
+        # RCCIS caps at k per reducer, but every returned tuple must be a true match
+        # and, because k is large here, all matches must be found.
+        assert got == expected
+
+    def test_no_duplicate_results(self, small_collections):
+        query = build_query("Qo,o", small_collections, "PB", k=1000)
+        baseline = RCCISJoin(
+            cluster=ClusterConfig(num_reducers=4), config=RCCISConfig(num_granules=6)
+        )
+        result = baseline.execute(query)
+        uids = [r.uids for r in result.results]
+        assert len(uids) == len(set(uids))
+
+    def test_two_phases_recorded(self, chain_collections):
+        query = build_query("Qo,m", chain_collections, "PB", k=5)
+        result = RCCISJoin(cluster=ClusterConfig(num_reducers=2)).execute(query)
+        assert result.name == "RCCIS"
+        assert len(result.phase_metrics) == 2
+        assert result.phase_metrics[0].job_name == "rccis-replication"
+        assert result.phase_metrics[1].job_name == "rccis-join"

@@ -1,0 +1,51 @@
+"""Tests for the experiment command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_all_experiments_are_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig7", "--size", "50"])
+        assert args.experiment == "fig7"
+        assert args.size == 50
+
+    def test_sizes_argument_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig11", "--sizes", "100,200,300"])
+        assert args.sizes == (100, 200, 300)
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["not-an-experiment"])
+
+    def test_every_registered_experiment_has_a_driver(self):
+        expected = {
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "effect-k", "statistics",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestExecution:
+    def test_run_experiment_fig7(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig7", "--size", "40"])
+        table = run_experiment("fig7", args)
+        assert len(table.rows) == 4
+
+    def test_main_prints_and_writes_output(self, tmp_path, capsys):
+        output = tmp_path / "fig7.txt"
+        code = main(["fig7", "--size", "40", "--output", str(output)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Figure 7" in captured.out
+        assert "Figure 7" in output.read_text()
+
+    def test_main_statistics_experiment(self, capsys):
+        code = main(["statistics", "--sizes", "200,400", "--granules", "5"])
+        assert code == 0
+        assert "Statistics collection" in capsys.readouterr().out

@@ -1,0 +1,135 @@
+"""Tests for the workload generators (synthetic, network trace, hashtags)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    NetworkTraceConfig,
+    SyntheticConfig,
+    TweetConfig,
+    connections_from_packets,
+    generate_collections,
+    generate_hashtag_collection,
+    generate_network_collection,
+    generate_packet_log,
+    generate_uniform_collection,
+    sample_collection,
+)
+from repro.datagen.network import Packet
+
+
+class TestSynthetic:
+    def test_size_and_ranges(self):
+        config = SyntheticConfig(size=500, start_min=0, start_max=1000, length_min=1, length_max=50)
+        collection = generate_uniform_collection("c", config, seed=1)
+        assert len(collection) == 500
+        lengths = collection.ends - collection.starts
+        assert collection.starts.min() >= 0
+        assert collection.starts.max() <= 1000
+        assert lengths.min() >= 1
+        assert lengths.max() <= 50
+
+    def test_integer_endpoints(self):
+        collection = generate_uniform_collection("c", SyntheticConfig(size=50), seed=2)
+        assert np.allclose(collection.starts, np.round(collection.starts))
+        assert np.allclose(collection.ends, np.round(collection.ends))
+
+    def test_reproducible_with_seed(self):
+        a = generate_uniform_collection("a", SyntheticConfig(size=100), seed=3)
+        b = generate_uniform_collection("b", SyntheticConfig(size=100), seed=3)
+        assert np.array_equal(a.starts, b.starts)
+        assert np.array_equal(a.ends, b.ends)
+
+    def test_generate_collections_names_and_independence(self):
+        collections = generate_collections(3, SyntheticConfig(size=20), seed=5)
+        assert list(collections) == ["C1", "C2", "C3"]
+        assert not np.array_equal(collections["C1"].starts, collections["C2"].starts)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(size=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(start_min=10, start_max=5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(length_min=0)
+        with pytest.raises(ValueError):
+            generate_collections(0)
+
+
+class TestNetworkTrace:
+    def test_packet_log_generation(self):
+        config = NetworkTraceConfig(num_sessions=200, num_clients=10, num_servers=5)
+        packets = generate_packet_log(config, seed=1)
+        assert len(packets) >= 200
+        assert all(0 <= p.client < 10 and 0 <= p.server < 5 for p in packets)
+
+    def test_grouping_rule(self):
+        packets = [
+            Packet(1, 2, 0.0),
+            Packet(1, 2, 30.0),
+            Packet(1, 2, 200.0),  # gap > 60s starts a new connection
+            Packet(3, 4, 10.0),
+        ]
+        connections = connections_from_packets(packets, gap_seconds=60.0)
+        assert len(connections) == 3
+        spans = sorted((c.start, c.end) for c in connections)
+        assert (0.0, 30.0) in spans
+        assert (200.0, 201.0) in spans  # single-packet connection gets minimum length 1
+        assert (10.0, 11.0) in spans
+
+    def test_connection_payload(self):
+        packets = [Packet(7, 9, 5.0), Packet(7, 9, 20.0)]
+        connections = connections_from_packets(packets)
+        assert connections[0].payload == {"client": 7, "server": 9}
+
+    def test_end_to_end_collection_properties(self):
+        config = NetworkTraceConfig(num_sessions=800, num_clients=50, num_servers=10)
+        collection = generate_network_collection(config, seed=4)
+        assert len(collection) > 100
+        summary = collection.describe()
+        assert summary["length_min"] >= 1.0
+        # Heavy tail: the maximum is far larger than the average.
+        assert summary["length_max"] > 5 * summary["length_avg"]
+
+    def test_start_distribution_is_skewed(self):
+        config = NetworkTraceConfig(num_sessions=1500)
+        collection = generate_network_collection(config, seed=6)
+        histogram, _ = np.histogram(collection.starts, bins=10)
+        # The busiest decile should hold well more than a uniform share.
+        assert histogram.max() > 1.5 * len(collection) / 10
+
+    def test_sample_collection(self):
+        config = NetworkTraceConfig(num_sessions=400)
+        collection = generate_network_collection(config, seed=7)
+        sampled = sample_collection(collection, 0.25, seed=8)
+        assert len(sampled) == max(1, int(len(collection) * 0.25))
+        assert [x.uid for x in sampled] == list(range(len(sampled)))
+        with pytest.raises(ValueError):
+            sample_collection(collection, 0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NetworkTraceConfig(num_sessions=0)
+        with pytest.raises(ValueError):
+            NetworkTraceConfig(peak_fraction=1.5)
+
+
+class TestTweets:
+    def test_sizes_and_kinds(self):
+        config = TweetConfig(num_hashtags=300, long_lived_fraction=0.1)
+        collection = generate_hashtag_collection("h", config, seed=1)
+        assert len(collection) == 300
+        kinds = {x.payload["kind"] for x in collection}
+        assert kinds == {"short", "long"}
+
+    def test_long_topics_are_longer(self):
+        collection = generate_hashtag_collection("h", TweetConfig(num_hashtags=500), seed=2)
+        short = [x.length for x in collection if x.payload["kind"] == "short"]
+        long = [x.length for x in collection if x.payload["kind"] == "long"]
+        assert np.mean(long) > 5 * np.mean(short)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TweetConfig(num_hashtags=0)
+        with pytest.raises(ValueError):
+            TweetConfig(long_lived_fraction=2.0)

@@ -1,0 +1,150 @@
+"""Tests for workload assignment: DTB (Algorithms 3-4), LPT and round-robin."""
+
+import pytest
+
+from repro.core.bounds import BucketCombination
+from repro.core.distribution import (
+    ASSIGNERS,
+    assign,
+    distribute_top_buckets,
+    lpt_assignment,
+    round_robin_assignment,
+)
+
+
+def combo(idx, nb_res, ub, buckets=None):
+    buckets = buckets or ((idx, idx), (idx + 1, idx + 1))
+    return BucketCombination(
+        vertices=("x1", "x2"),
+        buckets=buckets,
+        nb_res=nb_res,
+        lower_bound=max(0.0, ub - 0.3),
+        upper_bound=ub,
+    )
+
+
+@pytest.fixture()
+def combinations():
+    return [combo(i, nb_res=10 * (i + 1), ub=1.0 - 0.05 * i) for i in range(12)]
+
+
+class TestDTB:
+    def test_every_combination_assigned_once(self, combinations):
+        assignment = distribute_top_buckets(combinations, num_reducers=4)
+        assigned = [c for combos in assignment.combinations_per_reducer.values() for c in combos]
+        assert len(assigned) == len(combinations)
+        assert {c.key() for c in assigned} == {c.key() for c in combinations}
+
+    def test_buckets_follow_combinations(self, combinations):
+        assignment = distribute_top_buckets(combinations, num_reducers=4)
+        for reducer, combos in assignment.combinations_per_reducer.items():
+            for combination in combos:
+                for item in combination.bucket_items():
+                    assert item in assignment.buckets_per_reducer[reducer]
+
+    def test_high_scoring_combinations_spread_evenly(self):
+        """The first r combinations in UB order land on r distinct reducers."""
+        combos = [combo(i, nb_res=5, ub=1.0 - 0.01 * i) for i in range(8)]
+        assignment = distribute_top_buckets(combos, num_reducers=4)
+        top4 = sorted(combos, key=lambda c: -c.upper_bound)[:4]
+        reducers_of_top = set()
+        for combination in top4:
+            for reducer, assigned in assignment.combinations_per_reducer.items():
+                if any(c.key() == combination.key() for c in assigned):
+                    reducers_of_top.add(reducer)
+        assert len(reducers_of_top) == 4
+
+    def test_result_cap_respected_when_possible(self):
+        combos = [combo(i, nb_res=10, ub=0.9) for i in range(20)]
+        assignment = distribute_top_buckets(combos, num_reducers=4)
+        loads = assignment.results_per_reducer()
+        avg = sum(loads.values()) / 4
+        assert max(loads.values()) <= 2 * avg + 10  # one combination of slack
+
+    def test_single_huge_combination_does_not_fail(self):
+        combos = [combo(0, nb_res=10**9, ub=1.0), combo(1, nb_res=1, ub=0.5)]
+        assignment = distribute_top_buckets(combos, num_reducers=3)
+        assert sum(len(c) for c in assignment.combinations_per_reducer.values()) == 2
+
+    def test_tie_break_prefers_reducer_with_shared_buckets(self):
+        shared_bucket = ((5, 5), (6, 6))
+        combos = [
+            combo(0, nb_res=1, ub=1.0, buckets=shared_bucket),
+            combo(1, nb_res=1, ub=0.9),
+            combo(2, nb_res=1, ub=0.8, buckets=shared_bucket),
+        ]
+        # With 1 reducer everything goes together; with 2 reducers the third combo is
+        # assigned after each reducer has one combination, and the reducer already
+        # holding the shared buckets needs less new input.
+        assignment = distribute_top_buckets(combos, num_reducers=2)
+        reducer_of_first = next(
+            r for r, cs in assignment.combinations_per_reducer.items()
+            if any(c.key() == combos[0].key() for c in cs)
+        )
+        reducer_of_third = next(
+            r for r, cs in assignment.combinations_per_reducer.items()
+            if any(c.key() == combos[2].key() for c in cs)
+        )
+        assert reducer_of_first == reducer_of_third
+
+    def test_invalid_reducer_count(self, combinations):
+        with pytest.raises(ValueError):
+            distribute_top_buckets(combinations, num_reducers=0)
+
+
+class TestLPT:
+    def test_balances_result_counts(self):
+        combos = [combo(i, nb_res=count, ub=0.5) for i, count in enumerate([50, 40, 30, 20, 10, 5])]
+        assignment = lpt_assignment(combos, num_reducers=3)
+        loads = assignment.results_per_reducer()
+        assert max(loads.values()) <= 60
+        assert sum(loads.values()) == sum(c.nb_res for c in combos)
+
+    def test_ignores_scores(self):
+        """LPT assigns the largest combination first regardless of its upper bound."""
+        combos = [combo(0, nb_res=100, ub=0.1), combo(1, nb_res=1, ub=1.0)]
+        assignment = lpt_assignment(combos, num_reducers=2)
+        loads = assignment.results_per_reducer()
+        assert sorted(loads.values()) == [1, 100]
+
+
+class TestRoundRobinAndRegistry:
+    def test_round_robin_cycles(self, combinations):
+        assignment = round_robin_assignment(combinations, num_reducers=5)
+        counts = [len(c) for c in assignment.combinations_per_reducer.values()]
+        assert max(counts) - min(counts) <= 1
+
+    def test_assign_dispatch(self, combinations):
+        for name in ASSIGNERS:
+            assignment = assign(name, combinations, num_reducers=3)
+            assert sum(len(c) for c in assignment.combinations_per_reducer.values()) == len(
+                combinations
+            )
+        with pytest.raises(ValueError):
+            assign("unknown", combinations, num_reducers=3)
+
+
+class TestWorkloadAssignmentMetrics:
+    def test_reducers_of_bucket(self, combinations):
+        assignment = distribute_top_buckets(combinations, num_reducers=4)
+        vertex, bucket = combinations[0].bucket_items()[0]
+        reducers = assignment.reducers_of_bucket(vertex, bucket)
+        assert reducers, "the bucket of an assigned combination must reach some reducer"
+
+    def test_replication_cost(self):
+        combos = [
+            combo(0, nb_res=4, ub=1.0, buckets=((0, 0), (1, 1))),
+            combo(1, nb_res=4, ub=0.9, buckets=((0, 0), (2, 2))),
+        ]
+        assignment = distribute_top_buckets(combos, num_reducers=2)
+        counts = {("x1", (0, 0)): 10, ("x2", (1, 1)): 5, ("x2", (2, 2)): 7}
+        cost = assignment.replication_cost(counts)
+        # Bucket (0,0) is used by both combinations; if they land on different
+        # reducers it is counted twice.
+        assert cost in (22, 32)
+
+    def test_describe(self, combinations):
+        assignment = distribute_top_buckets(combinations, num_reducers=4)
+        summary = assignment.describe()
+        assert summary["assigned_combinations"] == len(combinations)
+        assert summary["max_results_per_reducer"] >= summary["avg_results_per_reducer"]

@@ -1,0 +1,84 @@
+"""Tests for the experiment harness and (smoke-level) the figure drivers."""
+
+import pytest
+
+from repro.datagen import NetworkTraceConfig
+from repro.experiments import (
+    ResultTable,
+    TKIJRunConfig,
+    build_query,
+    figure7_score_distribution,
+    figure12_network_distribution,
+    network_collections,
+    run_tkij,
+    statistics_collection_times,
+)
+from repro.experiments.harness import summarize
+
+
+class TestResultTable:
+    def test_add_row_and_column(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row(a=1, b=2.5)
+        table.add_row(a=3)
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2.5, None]
+
+    def test_to_text_contains_all_cells(self):
+        table = ResultTable("My title", ["name", "value"])
+        table.add_row(name="alpha", value=0.123456)
+        text = table.to_text()
+        assert "My title" in text
+        assert "alpha" in text
+        assert "0.1235" in text
+
+    def test_to_text_empty(self):
+        table = ResultTable("empty", ["x"])
+        assert "empty" in table.to_text()
+
+
+class TestRunConfig:
+    def test_make_runner_applies_settings(self):
+        config = TKIJRunConfig(num_granules=7, strategy="two-phase", assigner="lpt", num_reducers=3)
+        runner = config.make_runner()
+        assert runner.num_granules == 7
+        assert runner.strategy == "two-phase"
+        assert runner.assigner == "lpt"
+        assert runner.cluster.num_reducers == 3
+
+    def test_run_tkij_and_summarize(self, tiny_collections):
+        query = build_query("Qb,b", tiny_collections, "P1", k=5)
+        result = run_tkij(query, TKIJRunConfig(num_granules=3, num_reducers=2))
+        assert len(result.results) == 5
+        table = summarize({"run": result}, ["seconds_total", "min_kth_score"])
+        assert table.column("run") == ["run"]
+        assert table.column("seconds_total")[0] > 0
+
+
+class TestFigureDrivers:
+    def test_figure7_small(self):
+        table = figure7_score_distribution(size=60, ranks=(1, 10))
+        assert len(table.rows) == 4
+        predicates = table.column("predicate")
+        assert "s-before" in predicates
+        # before has by far the most perfect-scoring pairs (paper Figure 7).
+        perfect = dict(zip(predicates, table.column("perfect_scores")))
+        assert perfect["s-before"] >= perfect["s-starts"]
+
+    def test_figure12_distribution(self):
+        table = figure12_network_distribution(
+            NetworkTraceConfig(num_sessions=300), seed=3, num_bins=5
+        )
+        percentages = [row for row in table.column("start_pct_tuples") if row is not None]
+        assert sum(percentages) == pytest.approx(100.0, abs=1.0)
+
+    def test_network_collections_copies(self):
+        copies = network_collections(NetworkTraceConfig(num_sessions=120), seed=2, copies=3)
+        assert len(copies) == 3
+        assert len(copies[0]) == len(copies[1]) == len(copies[2])
+        assert copies[0].name != copies[1].name
+
+    def test_statistics_collection_times(self):
+        table = statistics_collection_times(sizes=(200, 400), num_granules=5)
+        assert table.column("size") == [200, 400]
+        assert all(seconds >= 0 for seconds in table.column("seconds"))

@@ -1,0 +1,152 @@
+"""Tests for score-threshold lookups (threshold boxes and the ThresholdIndex)."""
+
+import numpy as np
+import pytest
+
+from repro.index import (
+    CompiledPredicateQuery,
+    ThresholdIndex,
+    threshold_box,
+    threshold_difference_range,
+)
+from repro.temporal import ComparatorParams, Interval, PredicateParams
+from repro.temporal.predicates import before, meets, overlaps, sparks, starts
+
+P1 = PredicateParams.of(4, 16, 0, 10)
+
+
+def make_intervals(n, seed=0, span=2000.0):
+    rng = np.random.default_rng(seed)
+    starts_arr = rng.uniform(0, span, n)
+    lengths = rng.uniform(1, 60, n)
+    return [
+        Interval(i, float(s), float(s + l)) for i, (s, l) in enumerate(zip(starts_arr, lengths))
+    ]
+
+
+class TestThresholdDifferenceRange:
+    def test_no_constraint_for_zero_threshold(self):
+        lo, hi = threshold_difference_range("equals", ComparatorParams(4, 16), 0.0)
+        assert lo == float("-inf") and hi == float("inf")
+
+    def test_unsatisfiable_threshold(self):
+        lo, hi = threshold_difference_range("equals", ComparatorParams(4, 16), 1.5)
+        assert lo > hi
+
+    def test_equals_range_shrinks_with_threshold(self):
+        params = ComparatorParams(4, 16)
+        lo_half, hi_half = threshold_difference_range("equals", params, 0.5)
+        lo_one, hi_one = threshold_difference_range("equals", params, 1.0)
+        assert hi_one == pytest.approx(4.0)
+        assert hi_half == pytest.approx(4 + 16 * 0.5)
+        assert hi_one < hi_half
+
+    def test_greater_range(self):
+        params = ComparatorParams(0, 10)
+        lo, hi = threshold_difference_range("greater", params, 0.5)
+        assert lo == pytest.approx(5.0)
+        assert hi == float("inf")
+
+    def test_greater_boolean(self):
+        params = ComparatorParams(0, 0)
+        lo, _ = threshold_difference_range("greater", params, 1.0)
+        assert lo == 0.0
+
+    def test_threshold_semantics_match_scores(self):
+        """d is inside the returned range iff the comparator score at d reaches the threshold."""
+        from repro.temporal import equals_score, greater_score
+
+        params = ComparatorParams(3, 9)
+        for threshold in (0.2, 0.5, 0.8, 1.0):
+            lo_eq, hi_eq = threshold_difference_range("equals", params, threshold)
+            lo_gt, _ = threshold_difference_range("greater", params, threshold)
+            for d in np.linspace(-30, 30, 121):
+                in_eq = lo_eq <= d <= hi_eq
+                assert in_eq == (equals_score(d, 0.0, params) >= threshold - 1e-12)
+                in_gt = d >= lo_gt
+                assert in_gt == (greater_score(d, 0.0, params) >= threshold - 1e-12)
+
+
+class TestThresholdBox:
+    def test_meets_box_is_exact_superset(self):
+        predicate = meets(P1)
+        fixed = Interval(0, 100.0, 150.0)
+        pool = make_intervals(400, seed=1, span=400.0)
+        for threshold in (0.25, 0.5, 1.0):
+            box = threshold_box(predicate, "x", fixed, "y", threshold)
+            assert box is not None
+            qualifying = {y.uid for y in pool if predicate.score(fixed, y) >= threshold}
+            inside = {y.uid for y in pool if box.contains_point(y.start, y.end)}
+            assert qualifying <= inside
+
+    def test_box_none_when_unreachable(self):
+        predicate = meets(P1)
+        assert threshold_box(predicate, "x", Interval(0, 0, 10), "y", 1.5) is None
+
+    def test_sparks_length_conjunct_not_boxed_but_superset(self):
+        predicate = sparks(P1)
+        fixed = Interval(0, 10.0, 12.0)
+        pool = make_intervals(300, seed=2, span=200.0)
+        box = threshold_box(predicate, "x", fixed, "y", 0.5)
+        assert box is not None
+        qualifying = {y.uid for y in pool if predicate.score(fixed, y) >= 0.5}
+        inside = {y.uid for y in pool if box.contains_point(y.start, y.end)}
+        assert qualifying <= inside
+
+    def test_compiled_query_matches_function(self):
+        predicate = overlaps(P1).rename("a", "b")
+        compiled = CompiledPredicateQuery(predicate, "a", "b")
+        fixed = Interval(0, 50.0, 120.0)
+        box_a = compiled.box(fixed, 0.5)
+        box_b = threshold_box(predicate, "a", fixed, "b", 0.5)
+        assert box_a == box_b
+
+    def test_compiled_query_rejects_unknown_variable(self):
+        predicate = overlaps(P1).rename("a", "b")
+        with pytest.raises(ValueError):
+            CompiledPredicateQuery(predicate, "a", "c")
+
+
+class TestThresholdIndex:
+    def test_candidates_superset_and_exact(self):
+        pool = make_intervals(500, seed=5, span=1000.0)
+        index = ThresholdIndex.build(pool)
+        predicate = starts(P1).rename("x", "y")
+        fixed = Interval(0, 200.0, 300.0)
+        threshold = 0.5
+        exact_truth = {
+            y.uid
+            for y in pool
+            if min(c.score({"x": fixed, "y": y}, predicate.params) for c in predicate.comparisons)
+            >= threshold
+        }
+        superset = {y.uid for y in index.candidates(predicate, "x", fixed, "y", threshold)}
+        exact = {
+            y.uid
+            for y in index.candidates(predicate, "x", fixed, "y", threshold, exact=True)
+        }
+        assert exact_truth <= superset
+        assert exact == exact_truth
+
+    def test_candidates_compiled_matches_plain(self):
+        pool = make_intervals(300, seed=6)
+        index = ThresholdIndex.build(pool)
+        predicate = before(P1).rename("x", "y")
+        compiled = CompiledPredicateQuery(predicate, "x", "y")
+        fixed = Interval(0, 100.0, 160.0)
+        plain = {y.uid for y in index.candidates(predicate, "x", fixed, "y", 0.7)}
+        fast = {y.uid for y in index.candidates_compiled(compiled, fixed, 0.7)}
+        assert plain == fast
+
+    def test_zero_threshold_returns_everything(self):
+        pool = make_intervals(100, seed=7)
+        index = ThresholdIndex.build(pool)
+        predicate = meets(P1).rename("x", "y")
+        result = index.candidates(predicate, "x", Interval(0, 0, 1), "y", 0.0)
+        assert len(result) == 100
+
+    def test_len_and_all(self):
+        pool = make_intervals(64, seed=8)
+        index = ThresholdIndex.build(pool)
+        assert len(index) == 64
+        assert len(index.all()) == 64

@@ -1,0 +1,126 @@
+"""Tests for the per-reducer local top-k join."""
+
+import pytest
+
+from repro.baselines import naive_top_k
+from repro.core import (
+    CombinationSpace,
+    LocalJoinConfig,
+    LocalTopKJoin,
+    TopBucketsSelector,
+    collect_statistics,
+)
+from repro.experiments import build_query
+from repro.temporal import PredicateParams
+
+P1 = PredicateParams.of(4, 16, 0, 10)
+P2 = PredicateParams.of(0, 16, 2, 8)
+
+
+def _prepare(query, num_granules=4, strategy="loose"):
+    """Statistics, selected combinations and the full bucket->intervals mapping."""
+    collections = {query.collections[v].name: query.collections[v] for v in query.vertices}
+    statistics = collect_statistics(collections, num_granules=num_granules)
+    space = CombinationSpace(query, statistics)
+    result = TopBucketsSelector(strategy=strategy).run(query, statistics, space)
+    intervals = {}
+    for vertex in query.vertices:
+        collection = query.collections[vertex]
+        matrix = statistics.matrix(collection.name)
+        for interval in collection:
+            key = (vertex, matrix.granularity.bucket_of(interval))
+            intervals.setdefault(key, []).append(interval)
+    return statistics, result.selected, intervals
+
+
+class TestLocalJoinCorrectness:
+    @pytest.mark.parametrize("query_name", ["Qs,m", "Qb,b", "Qo,o", "Qo,m"])
+    def test_single_worker_matches_naive(self, tiny_collections, query_name):
+        """With all combinations and all data, the local join is an exact evaluator."""
+        query = build_query(query_name, tiny_collections, P1, k=8)
+        _, selected, intervals = _prepare(query)
+        join = LocalTopKJoin(query)
+        results, stats = join.run(selected, intervals)
+        expected = naive_top_k(query)
+        assert [round(r.score, 9) for r in results] == [round(r.score, 9) for r in expected]
+        assert stats.tuples_scored > 0
+
+    def test_binary_query(self, pair_collections):
+        query = build_query("Qb,b", [pair_collections[0], pair_collections[1], pair_collections[0]], P1, k=5)
+        _, selected, intervals = _prepare(query)
+        results, _ = join_results = LocalTopKJoin(query).run(selected, intervals)
+        assert len(results) == 5
+        assert all(results[i].score >= results[i + 1].score for i in range(len(results) - 1))
+
+    def test_results_sorted_descending(self, tiny_collections):
+        query = build_query("Qo,o", tiny_collections, P2, k=12)
+        _, selected, intervals = _prepare(query)
+        results, _ = LocalTopKJoin(query).run(selected, intervals)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_larger_than_result_count(self, tiny_collections):
+        query = build_query("Qs,m", tiny_collections, P1, k=10)
+        _, selected, intervals = _prepare(query)
+        results, _ = LocalTopKJoin(query).run(selected, intervals, k=10**7)
+        total = len(tiny_collections[0]) * len(tiny_collections[1]) * len(tiny_collections[2])
+        assert len(results) <= total
+
+
+class TestLocalJoinConfigurations:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            LocalJoinConfig(use_index=False, early_termination=False),
+            LocalJoinConfig(use_index=False, early_termination=True),
+            LocalJoinConfig(use_index=True, early_termination=False),
+            LocalJoinConfig(use_index=True, early_termination=True),
+        ],
+    )
+    def test_flags_do_not_change_results(self, tiny_collections, config):
+        query = build_query("Qs,m", tiny_collections, P1, k=6)
+        _, selected, intervals = _prepare(query)
+        baseline, _ = LocalTopKJoin(query, LocalJoinConfig(use_index=False, early_termination=False)).run(
+            selected, intervals
+        )
+        results, _ = LocalTopKJoin(query, config).run(selected, intervals)
+        assert [round(r.score, 9) for r in results] == [round(r.score, 9) for r in baseline]
+
+    def test_early_termination_skips_combinations(self, tiny_collections):
+        query = build_query("Qb,b", tiny_collections, P1, k=3)
+        _, selected, intervals = _prepare(query)
+        eager = LocalTopKJoin(query, LocalJoinConfig(early_termination=True))
+        lazy = LocalTopKJoin(query, LocalJoinConfig(early_termination=False))
+        _, eager_stats = eager.run(selected, intervals)
+        _, lazy_stats = lazy.run(selected, intervals)
+        assert eager_stats.combinations_processed <= lazy_stats.combinations_processed
+        assert eager_stats.tuples_scored <= lazy_stats.tuples_scored
+
+    def test_index_reduces_candidates(self, tiny_collections):
+        query = build_query("Qs,m", tiny_collections, P1, k=3)
+        _, selected, intervals = _prepare(query)
+        with_index, idx_stats = LocalTopKJoin(
+            query, LocalJoinConfig(use_index=True)
+        ).run(selected, intervals)
+        without_index, raw_stats = LocalTopKJoin(
+            query, LocalJoinConfig(use_index=False)
+        ).run(selected, intervals)
+        assert [r.score for r in with_index] == [r.score for r in without_index]
+        assert idx_stats.candidates_examined <= raw_stats.candidates_examined
+
+    def test_missing_bucket_data_is_skipped(self, tiny_collections):
+        query = build_query("Qs,m", tiny_collections, P1, k=3)
+        _, selected, intervals = _prepare(query)
+        # Drop the data of one vertex entirely: combinations referencing it produce nothing.
+        partial = {key: value for key, value in intervals.items() if key[0] != "x2"}
+        results, stats = LocalTopKJoin(query).run(selected, partial)
+        assert results == []
+
+    def test_stats_merge(self):
+        from repro.core import LocalJoinStats
+
+        a = LocalJoinStats(1, 2, 3, 4)
+        b = LocalJoinStats(10, 20, 30, 40)
+        a.merge(b)
+        assert (a.combinations_processed, a.combinations_skipped) == (11, 22)
+        assert (a.candidates_examined, a.tuples_scored) == (33, 44)

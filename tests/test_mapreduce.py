@@ -1,0 +1,174 @@
+"""Tests for the simulated Map-Reduce substrate."""
+
+import pytest
+
+from repro.mapreduce import (
+    ClusterConfig,
+    Counters,
+    HashPartitioner,
+    MapReduceEngine,
+    MapReduceJob,
+    Mapper,
+    Reducer,
+    RoutingPartitioner,
+)
+
+
+class WordCountMapper(Mapper):
+    def map(self, key, value):
+        for word in value.split():
+            self.counters.increment("words_seen")
+            yield word, 1
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+class TrailingReducer(Reducer):
+    """Reducer that also emits a summary record from cleanup()."""
+
+    def __init__(self):
+        self._count = 0
+
+    def reduce(self, key, values):
+        self._count += len(values)
+        return iter(())
+
+    def cleanup(self):
+        yield "total", self._count
+
+
+def wordcount_job(num_reducers=3):
+    return MapReduceJob(
+        name="wordcount",
+        mapper_factory=WordCountMapper,
+        reducer_factory=SumReducer,
+        num_reducers=num_reducers,
+    )
+
+
+class TestCounters:
+    def test_increment_and_get(self):
+        counters = Counters()
+        counters.increment("a")
+        counters.increment("a", 4)
+        assert counters.get("a") == 5
+        assert counters.get("missing") == 0
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("x", 2)
+        b.increment("x", 3)
+        b.increment("y")
+        a.merge(b)
+        assert a.get("x") == 5
+        assert a.get("y") == 1
+
+    def test_as_dict(self):
+        counters = Counters()
+        counters.increment("k", 7)
+        assert counters.as_dict() == {"k": 7}
+
+
+class TestPartitioners:
+    def test_hash_partitioner_is_stable_and_in_range(self):
+        partitioner = HashPartitioner()
+        for key in ["a", ("x", 3), 42, 3.5, ("deep", ("nested", 1))]:
+            first = partitioner.partition(key, 7)
+            assert 0 <= first < 7
+            assert partitioner.partition(key, 7) == first
+
+    def test_routing_partitioner_uses_table(self):
+        partitioner = RoutingPartitioner({"a": 5, "b": 2})
+        assert partitioner.partition("a", 8) == 5
+        assert partitioner.partition("b", 8) == 2
+        assert 0 <= partitioner.partition("unknown", 8) < 8
+
+    def test_routing_partitioner_wraps_modulo(self):
+        partitioner = RoutingPartitioner({"a": 9})
+        assert partitioner.partition("a", 4) == 1
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_reducers=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(num_mappers=0)
+
+
+class TestEngine:
+    def test_wordcount(self):
+        engine = MapReduceEngine(ClusterConfig(num_reducers=3, num_mappers=2))
+        documents = [(i, text) for i, text in enumerate(["a b a", "b c", "a c c c"])]
+        result = engine.run(wordcount_job(), documents)
+        counts = dict(result.outputs)
+        assert counts == {"a": 3, "b": 2, "c": 4}
+
+    def test_counters_aggregated_across_tasks(self):
+        engine = MapReduceEngine(ClusterConfig(num_mappers=3))
+        documents = [(i, "w w w") for i in range(6)]
+        result = engine.run(wordcount_job(), documents)
+        assert result.counters.get("words_seen") == 18
+
+    def test_metrics_structure(self):
+        engine = MapReduceEngine(ClusterConfig(num_reducers=4, num_mappers=2))
+        documents = [(i, "alpha beta") for i in range(10)]
+        result = engine.run(wordcount_job(num_reducers=4), documents)
+        metrics = result.metrics
+        assert len(metrics.map_tasks) == 2
+        assert len(metrics.reduce_tasks) == 4
+        assert metrics.shuffle_records == 20
+        assert metrics.elapsed_seconds > 0
+        assert metrics.max_reduce_seconds >= 0
+        summary = metrics.describe()
+        assert summary["shuffle_records"] == 20
+
+    def test_reducer_outputs_grouped_per_task(self):
+        engine = MapReduceEngine(ClusterConfig(num_reducers=2))
+        documents = [(i, "x y z") for i in range(4)]
+        result = engine.run(wordcount_job(num_reducers=2), documents)
+        assert len(result.reducer_outputs) == 2
+        flattened = [pair for chunk in result.reducer_outputs for pair in chunk]
+        assert sorted(flattened) == sorted(result.outputs)
+
+    def test_cleanup_emits_after_all_keys(self):
+        job = MapReduceJob(
+            name="cleanup",
+            mapper_factory=WordCountMapper,
+            reducer_factory=TrailingReducer,
+            num_reducers=1,
+        )
+        engine = MapReduceEngine()
+        result = engine.run(job, [(0, "a b c a")])
+        assert result.outputs == [("total", 4)]
+
+    def test_record_size_accounted(self):
+        job = MapReduceJob(
+            name="sized",
+            mapper_factory=WordCountMapper,
+            reducer_factory=SumReducer,
+            num_reducers=1,
+            record_size=lambda key, value: 10,
+        )
+        engine = MapReduceEngine()
+        result = engine.run(job, [(0, "a b")])
+        assert result.metrics.shuffle_size == 20
+
+    def test_empty_input(self):
+        engine = MapReduceEngine()
+        result = engine.run(wordcount_job(), [])
+        assert result.outputs == []
+
+    def test_history_is_kept(self):
+        engine = MapReduceEngine()
+        engine.run(wordcount_job(), [(0, "a")])
+        engine.run(wordcount_job(), [(0, "b")])
+        assert len(engine.history) == 2
+
+    def test_imbalance_metric(self):
+        engine = MapReduceEngine(ClusterConfig(num_reducers=2))
+        result = engine.run(wordcount_job(num_reducers=2), [(0, "a b c d e f")])
+        assert result.metrics.imbalance >= 1.0

@@ -1,0 +1,57 @@
+"""Tests for the merge phase (local top-k lists -> global top-k)."""
+
+from repro.core import merge_top_k, run_merge_job
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.query.graph import ResultTuple
+
+
+def rt(uids, score):
+    return ResultTuple(tuple(uids), score)
+
+
+class TestMergeTopK:
+    def test_basic_merge(self):
+        lists = [
+            [rt((1, 1), 0.9), rt((1, 2), 0.7)],
+            [rt((2, 1), 0.8), rt((2, 2), 0.6)],
+        ]
+        merged = merge_top_k(lists, k=3)
+        assert [r.score for r in merged] == [0.9, 0.8, 0.7]
+
+    def test_k_truncation(self):
+        lists = [[rt((i, 0), 1.0 - i * 0.1) for i in range(10)]]
+        assert len(merge_top_k(lists, k=4)) == 4
+
+    def test_duplicates_collapsed(self):
+        lists = [[rt((1, 1), 0.9)], [rt((1, 1), 0.9)], [rt((2, 2), 0.5)]]
+        merged = merge_top_k(lists, k=10)
+        assert len(merged) == 2
+
+    def test_deterministic_tie_break(self):
+        lists = [[rt((2, 0), 0.5), rt((1, 0), 0.5), rt((3, 0), 0.5)]]
+        merged = merge_top_k(lists, k=2)
+        assert [r.uids for r in merged] == [(1, 0), (2, 0)]
+
+    def test_empty_input(self):
+        assert merge_top_k([], k=5) == []
+        assert merge_top_k([[]], k=5) == []
+
+
+class TestMergeJob:
+    def test_job_matches_direct_merge(self):
+        engine = MapReduceEngine(ClusterConfig(num_reducers=4))
+        local_lists = [
+            [rt((1, 1), 0.9), rt((1, 2), 0.2)],
+            [rt((2, 1), 0.95)],
+            [],
+            [rt((3, 1), 0.5), rt((3, 2), 0.4)],
+        ]
+        merged, job_result = run_merge_job(engine, local_lists, k=3)
+        assert [r.score for r in merged] == [0.95, 0.9, 0.5]
+        assert job_result.metrics.job_name == "tkij-merge"
+        assert merged == merge_top_k(local_lists, k=3)
+
+    def test_job_with_no_results(self):
+        engine = MapReduceEngine()
+        merged, _ = run_merge_job(engine, [[], []], k=5)
+        assert merged == []

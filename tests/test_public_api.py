@@ -1,0 +1,68 @@
+"""Tests of the top-level public API surface and execution-report contents."""
+
+import repro
+from repro import TKIJ, ClusterConfig, LocalJoinConfig
+from repro.experiments import build_query
+
+
+class TestPublicSurface:
+    def test_version_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.baselines as baselines
+        import repro.core as core
+        import repro.datagen as datagen
+        import repro.experiments as experiments
+        import repro.index as index
+        import repro.mapreduce as mapreduce
+        import repro.query as query
+        import repro.solver as solver
+        import repro.temporal as temporal
+
+        for module in (core, temporal, query, solver, mapreduce, index, baselines, datagen, experiments):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestExecutionReportContents:
+    def test_describe_contains_all_reported_metrics(self, tiny_collections):
+        query = build_query("Qo,m", tiny_collections, "P1", k=5)
+        tkij = TKIJ(
+            num_granules=4,
+            cluster=ClusterConfig(num_reducers=3, num_mappers=2),
+            join_config=LocalJoinConfig(),
+        )
+        summary = tkij.execute(query).describe()
+        expected_keys = {
+            "seconds_statistics",
+            "seconds_top_buckets",
+            "seconds_distribution",
+            "seconds_join",
+            "seconds_merge",
+            "seconds_total",
+            "selected_combinations",
+            "pruned_results_fraction",
+            "join_shuffle_records",
+            "join_imbalance",
+            "join_max_reduce_seconds",
+            "min_kth_score",
+            "tuples_scored",
+            "candidates_examined",
+            "combinations_processed",
+        }
+        assert expected_keys <= set(summary)
+
+    def test_total_excludes_statistics_phase(self, tiny_collections):
+        query = build_query("Qb,b", tiny_collections, "P1", k=5)
+        tkij = TKIJ(num_granules=4, cluster=ClusterConfig(num_reducers=3, num_mappers=2))
+        result = tkij.execute(query)
+        reconstructed = sum(
+            seconds for name, seconds in result.phase_seconds.items() if name != "statistics"
+        )
+        assert result.total_seconds == reconstructed

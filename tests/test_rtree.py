@@ -1,0 +1,82 @@
+"""Tests for the STR-packed R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.index import Rect, RTree
+from repro.temporal import Interval
+
+
+def make_intervals(n, seed=0):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0, 1000, n)
+    lengths = rng.uniform(1, 50, n)
+    return [Interval(i, float(s), float(s + l)) for i, (s, l) in enumerate(zip(starts, lengths))]
+
+
+class TestRect:
+    def test_intersects(self):
+        a = Rect(0, 10, 0, 10)
+        b = Rect(5, 15, 5, 15)
+        c = Rect(11, 20, 0, 10)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_contains_point(self):
+        r = Rect(0, 10, 0, 10)
+        assert r.contains_point(0, 10)
+        assert not r.contains_point(-1, 5)
+
+    def test_bounding(self):
+        r = Rect.bounding([Rect(0, 1, 0, 1), Rect(5, 9, -2, 3)])
+        assert (r.min_x, r.max_x, r.min_y, r.max_y) == (0, 9, -2, 3)
+
+    def test_everything_contains_anything(self):
+        assert Rect.everything().contains_point(1e12, -1e12)
+
+
+class TestRTree:
+    def test_empty_tree(self):
+        tree = RTree([])
+        assert len(tree) == 0
+        assert tree.query(Rect.everything()) == []
+
+    def test_all_returns_everything(self):
+        intervals = make_intervals(500)
+        tree = RTree(intervals, leaf_capacity=16)
+        assert len(tree.all()) == 500
+
+    def test_leaf_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RTree([], leaf_capacity=1)
+
+    def test_query_matches_linear_scan(self):
+        intervals = make_intervals(800, seed=3)
+        tree = RTree(intervals, leaf_capacity=8)
+        boxes = [
+            Rect(100, 300, 100, 400),
+            Rect(0, 50, 0, 100),
+            Rect(900, 1100, 900, 1100),
+            Rect(500, 500, 0, 2000),
+        ]
+        for box in boxes:
+            expected = {
+                x.uid for x in intervals if box.contains_point(x.start, x.end)
+            }
+            found = {x.uid for x in tree.query(box)}
+            assert found == expected
+
+    def test_query_empty_region(self):
+        intervals = make_intervals(100)
+        tree = RTree(intervals)
+        assert tree.query(Rect(-100, -50, -100, -50)) == []
+
+    def test_single_item(self):
+        tree = RTree([Interval(0, 5, 10)])
+        assert len(tree.query(Rect(0, 10, 0, 20))) == 1
+        assert tree.query(Rect(6, 10, 0, 20)) == []
+
+    def test_duplicate_points(self):
+        intervals = [Interval(i, 5.0, 10.0) for i in range(50)]
+        tree = RTree(intervals, leaf_capacity=4)
+        assert len(tree.query(Rect(5, 5, 10, 10))) == 50

@@ -1,0 +1,247 @@
+"""Tests for the bound-solver substrate (domains, objectives, branch-and-bound)."""
+
+import itertools
+
+import pytest
+
+from repro.query import QueryEdge, RTJQuery
+from repro.solver import (
+    AggregateObjective,
+    BranchAndBoundSolver,
+    DomainSet,
+    EdgeObjective,
+    VariableBox,
+)
+from repro.temporal import AverageScore, Interval, IntervalCollection, PredicateParams
+from repro.temporal.predicates import meets, starts
+
+P1 = PredicateParams.of(4, 16, 0, 10)
+
+
+class TestVariableBox:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariableBox(10, 5, 0, 1)
+
+    def test_feasibility(self):
+        assert VariableBox(0, 10, 5, 20).is_feasible
+        assert not VariableBox(30, 40, 0, 20).is_feasible
+
+    def test_split_start(self):
+        box = VariableBox(0, 10, 20, 30)
+        low, high = box.split("start")
+        assert low.start_range == (0, 5)
+        assert high.start_range == (5, 10)
+        assert low.end_range == (20, 30)
+
+    def test_split_end(self):
+        box = VariableBox(0, 10, 20, 30)
+        low, high = box.split("end")
+        assert low.end_range == (20, 25)
+        assert high.end_range == (25, 30)
+
+    def test_width(self):
+        box = VariableBox(0, 10, 20, 24)
+        assert box.width("start") == 10
+        assert box.width("end") == 4
+
+    def test_sample_interval_respects_order(self):
+        box = VariableBox(0, 10, 2, 6)
+        sample = box.sample_interval()
+        assert sample.start <= sample.end
+        assert 0 <= sample.start <= 10
+        assert 2 <= sample.end <= 6
+
+    def test_from_granules(self):
+        box = VariableBox.from_granules((10, 20), (20, 30))
+        assert box.start_range == (10, 20)
+        assert box.end_range == (20, 30)
+
+
+class TestDomainSet:
+    def test_endpoint_domains(self):
+        domains = DomainSet.from_mapping({"x": VariableBox(0, 10, 10, 20)})
+        flat = domains.endpoint_domains()
+        assert len(flat) == 2
+        assert flat[next(iter(flat))] in [(0.0, 10.0), (10.0, 20.0)]
+
+    def test_widest(self):
+        domains = DomainSet.from_mapping(
+            {"x": VariableBox(0, 10, 10, 20), "y": VariableBox(0, 100, 0, 5)}
+        )
+        var, endpoint, width = domains.widest()
+        assert (var, endpoint, width) == ("y", "start", 100)
+
+    def test_split_keeps_other_variables(self):
+        domains = DomainSet.from_mapping(
+            {"x": VariableBox(0, 10, 10, 20), "y": VariableBox(0, 4, 4, 8)}
+        )
+        halves = list(domains.split("x", "start"))
+        assert len(halves) == 2
+        for half in halves:
+            assert half.box_of("y") == domains.box_of("y")
+
+    def test_split_drops_infeasible_halves(self):
+        # Splitting the end axis below the start range produces an infeasible half.
+        domains = DomainSet.from_mapping({"x": VariableBox(10, 12, 0, 22)})
+        halves = list(domains.split("x", "end"))
+        assert len(halves) == 2  # both halves still admit start <= end here
+        domains = DomainSet.from_mapping({"x": VariableBox(10, 12, 8, 12)})
+        halves = list(domains.split("x", "end"))
+        # The lower half [8, 10] is only just feasible (start_low 10 <= 10).
+        assert all(half.box_of("x").is_feasible for half in halves)
+
+    def test_sample_assignment(self):
+        domains = DomainSet.from_mapping(
+            {"x": VariableBox(0, 10, 10, 20), "y": VariableBox(5, 6, 7, 9)}
+        )
+        assignment = domains.sample_assignment()
+        assert set(assignment) == {"x", "y"}
+        assert all(i.start <= i.end for i in assignment.values())
+
+
+def _two_edge_objective():
+    """Objective for starts(x, y), starts(y, z) with the normalised sum (paper Fig. 6)."""
+    edges = (
+        EdgeObjective.from_edge("x", "y", starts(PredicateParams.of(1, 3, 0, 4))),
+        EdgeObjective.from_edge("y", "z", starts(PredicateParams.of(1, 3, 0, 4))),
+    )
+    return AggregateObjective(edges=edges, aggregation=AverageScore(num_edges=2))
+
+
+class TestObjectives:
+    def test_edge_objective_evaluate(self):
+        edge = EdgeObjective.from_edge("a", "b", meets(P1))
+        value = edge.evaluate({"a": Interval(0, 0, 10), "b": Interval(1, 10, 20)})
+        assert value == 1.0
+
+    def test_relaxed_range_contains_evaluations(self):
+        objective = _two_edge_objective()
+        domains = DomainSet.from_mapping(
+            {
+                "x": VariableBox(10, 20, 20, 30),
+                "y": VariableBox(20, 30, 30, 40),
+                "z": VariableBox(30, 40, 30, 40),
+            }
+        )
+        lo, hi = objective.relaxed_range(domains)
+        for xs, ys, zs in itertools.product((10, 15, 20), (20, 25, 30), (30, 35, 40)):
+            assignment = {
+                "x": Interval(0, xs, 25),
+                "y": Interval(1, ys, 35),
+                "z": Interval(2, zs, 40),
+            }
+            value = objective.evaluate(assignment)
+            assert lo - 1e-9 <= value <= hi + 1e-9
+
+    def test_edge_ranges_length(self):
+        objective = _two_edge_objective()
+        domains = DomainSet.from_mapping(
+            {
+                "x": VariableBox(10, 20, 20, 30),
+                "y": VariableBox(20, 30, 30, 40),
+                "z": VariableBox(30, 40, 30, 40),
+            }
+        )
+        assert len(objective.edge_ranges(domains)) == 2
+
+
+class TestBranchAndBound:
+    def test_paper_figure6_loose_vs_tight(self):
+        """The joint upper bound must be tighter than the independent per-edge bounds.
+
+        This is the example of Figure 6: both starts predicates can individually
+        reach 1, but not simultaneously, so brute-force finds UB = 0.5 while loose
+        reports 1.0.
+        """
+        objective = _two_edge_objective()
+        domains = DomainSet.from_mapping(
+            {
+                "x": VariableBox(10, 20, 20, 30),
+                "y": VariableBox(20, 30, 30, 40),
+                "z": VariableBox(30, 40, 30, 40),
+            }
+        )
+        loose_lo, loose_hi = objective.relaxed_range(domains)
+        assert loose_hi == pytest.approx(1.0)
+        solver = BranchAndBoundSolver(max_nodes=512, tolerance=1e-3)
+        tight_hi = solver.upper_bound(objective, domains)
+        assert tight_hi < loose_hi
+        assert tight_hi == pytest.approx(0.5, abs=0.05)
+
+    def test_bounds_bracket_enumerated_optimum(self):
+        """LB/UB must bracket the true min/max over a fine sample grid."""
+        objective = _two_edge_objective()
+        domains = DomainSet.from_mapping(
+            {
+                "x": VariableBox(10, 20, 20, 30),
+                "y": VariableBox(20, 30, 30, 40),
+                "z": VariableBox(30, 40, 30, 40),
+            }
+        )
+        solver = BranchAndBoundSolver(max_nodes=256)
+        lb, ub = solver.bounds(objective, domains)
+        values = []
+        grid = [0.0, 0.25, 0.5, 0.75, 1.0]
+        for fx, fy, fz in itertools.product(grid, repeat=3):
+            assignment = {
+                "x": Interval(0, 10 + 10 * fx, 20 + 10 * fx),
+                "y": Interval(1, 20 + 10 * fy, 30 + 10 * fy),
+                "z": Interval(2, 30 + 10 * fz, 30 + 10 * fz + 5),
+            }
+            values.append(objective.evaluate(assignment))
+        assert lb <= min(values) + 1e-9
+        assert ub >= max(values) - 1e-9
+
+    def test_small_budget_still_valid(self):
+        objective = _two_edge_objective()
+        domains = DomainSet.from_mapping(
+            {
+                "x": VariableBox(10, 20, 20, 30),
+                "y": VariableBox(20, 30, 30, 40),
+                "z": VariableBox(30, 40, 30, 40),
+            }
+        )
+        tight = BranchAndBoundSolver(max_nodes=512).bounds(objective, domains)
+        cheap = BranchAndBoundSolver(max_nodes=2).bounds(objective, domains)
+        # A smaller budget can only loosen the bounds, never invalidate them.
+        assert cheap[0] <= tight[0] + 1e-9
+        assert cheap[1] >= tight[1] - 1e-9
+
+    def test_stats_are_recorded(self):
+        objective = _two_edge_objective()
+        domains = DomainSet.from_mapping(
+            {
+                "x": VariableBox(10, 20, 20, 30),
+                "y": VariableBox(20, 30, 30, 40),
+                "z": VariableBox(30, 40, 30, 40),
+            }
+        )
+        solver = BranchAndBoundSolver()
+        solver.bounds(objective, domains)
+        assert solver.stats.calls == 2
+        assert solver.stats.evaluations > 0
+
+    def test_relaxed_bounds_shortcut(self):
+        objective = _two_edge_objective()
+        domains = DomainSet.from_mapping(
+            {
+                "x": VariableBox(10, 20, 20, 30),
+                "y": VariableBox(20, 30, 30, 40),
+                "z": VariableBox(30, 40, 30, 40),
+            }
+        )
+        solver = BranchAndBoundSolver()
+        assert solver.relaxed_bounds(objective, domains) == objective.relaxed_range(domains)
+
+    def test_degenerate_box_is_exact(self):
+        objective = AggregateObjective(
+            edges=(EdgeObjective.from_edge("x", "y", meets(P1)),),
+            aggregation=AverageScore(num_edges=1),
+        )
+        domains = DomainSet.from_mapping(
+            {"x": VariableBox(0, 0, 10, 10), "y": VariableBox(10, 10, 20, 20)}
+        )
+        lb, ub = BranchAndBoundSolver().bounds(objective, domains)
+        assert lb == pytest.approx(1.0)
+        assert ub == pytest.approx(1.0)

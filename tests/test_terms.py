@@ -1,0 +1,91 @@
+"""Tests for linear endpoint terms."""
+
+import pytest
+
+from repro.temporal import Interval
+from repro.temporal.terms import EndpointVar, Term, constant, end_of, length_of, start_of
+
+
+@pytest.fixture()
+def xy():
+    return {"x": Interval(0, 10.0, 30.0), "y": Interval(1, 25.0, 45.0)}
+
+
+class TestEndpointVar:
+    def test_value(self, xy):
+        assert EndpointVar("x", "start").value(xy["x"]) == 10.0
+        assert EndpointVar("x", "end").value(xy["x"]) == 30.0
+
+    def test_invalid_endpoint(self):
+        with pytest.raises(ValueError):
+            EndpointVar("x", "middle")
+
+
+class TestTermConstruction:
+    def test_start_end_length(self, xy):
+        assert start_of("x").evaluate(xy) == 10.0
+        assert end_of("x").evaluate(xy) == 30.0
+        assert length_of("x").evaluate(xy) == 20.0
+
+    def test_constant(self, xy):
+        assert constant(7.5).evaluate(xy) == 7.5
+
+    def test_addition_and_subtraction(self, xy):
+        term = end_of("x") - start_of("y") + 5
+        assert term.evaluate(xy) == 30.0 - 25.0 + 5
+
+    def test_scalar_multiplication(self, xy):
+        term = length_of("x") * 10
+        assert term.evaluate(xy) == 200.0
+        assert (2 * start_of("x")).evaluate(xy) == 20.0
+
+    def test_right_subtraction(self, xy):
+        term = 100 - start_of("x")
+        assert term.evaluate(xy) == 90.0
+
+    def test_cancellation_removes_zero_coefficients(self):
+        term = start_of("x") - start_of("x")
+        assert term.coefficients == ()
+        assert term.constant == 0.0
+
+    def test_variables(self):
+        term = end_of("x") - start_of("y")
+        assert term.variables() == {"x", "y"}
+        assert EndpointVar("x", "end") in term.endpoint_vars()
+
+
+class TestTermBounds:
+    def test_bounds_positive_coefficients(self):
+        term = start_of("x") + end_of("x")
+        domains = {
+            EndpointVar("x", "start"): (0.0, 10.0),
+            EndpointVar("x", "end"): (20.0, 30.0),
+        }
+        assert term.bounds(domains) == (20.0, 40.0)
+
+    def test_bounds_negative_coefficients(self):
+        term = start_of("y") - end_of("x")
+        domains = {
+            EndpointVar("y", "start"): (100.0, 110.0),
+            EndpointVar("x", "end"): (20.0, 30.0),
+        }
+        assert term.bounds(domains) == (70.0, 90.0)
+
+    def test_bounds_with_constant_only(self):
+        assert constant(4.0).bounds({}) == (4.0, 4.0)
+
+    def test_bounds_contain_all_evaluations(self):
+        term = 10 * length_of("x") - start_of("y")
+        domains = {
+            EndpointVar("x", "start"): (0.0, 5.0),
+            EndpointVar("x", "end"): (5.0, 9.0),
+            EndpointVar("y", "start"): (1.0, 3.0),
+        }
+        lo, hi = term.bounds(domains)
+        for xs in (0.0, 2.5, 5.0):
+            for xe in (5.0, 7.0, 9.0):
+                for ys in (1.0, 2.0, 3.0):
+                    value = term.evaluate(
+                        {"x": Interval(0, xs, xe), "y": Interval(1, ys, ys + 1)}
+                    )
+                    assert lo <= value <= hi

@@ -1,0 +1,107 @@
+"""Tests for getTopBuckets (Algorithm 1) and the TopBuckets strategies (Algorithm 2)."""
+
+import pytest
+
+from repro.core import CombinationSpace, TopBucketsSelector, collect_statistics, get_top_buckets
+from repro.core.bounds import BucketCombination
+from repro.core.top_buckets import validate_selection
+from repro.experiments import build_query
+from repro.temporal import PredicateParams
+
+P1 = PredicateParams.of(4, 16, 0, 10)
+
+
+def combo(name, nb_res, lb, ub):
+    return BucketCombination(("x",), ((name, name),), nb_res, lb, ub)
+
+
+class TestGetTopBuckets:
+    def test_keeps_everything_when_k_not_covered(self):
+        combos = [combo(0, 2, 0.1, 0.5), combo(1, 3, 0.0, 0.4)]
+        selected = get_top_buckets(combos, k=100)
+        assert len(selected) == 2
+
+    def test_prunes_dominated_combinations(self):
+        combos = [
+            combo(0, 10, 0.9, 1.0),   # provides >= k results with LB 0.9
+            combo(1, 5, 0.2, 0.8),    # UB 0.8 < 0.9 -> prunable
+            combo(2, 5, 0.0, 0.95),   # UB 0.95 > 0.9 -> must stay
+        ]
+        selected = get_top_buckets(combos, k=5)
+        keys = {c.key() for c in selected}
+        assert combo(0, 10, 0.9, 1.0).key() in keys
+        assert combo(2, 5, 0.0, 0.95).key() in keys
+        assert combo(1, 5, 0.2, 0.8).key() not in keys
+
+    def test_kth_lower_bound_accumulates_results(self):
+        # The k-th result lower bound comes from enough combinations to cover k.
+        combos = [
+            combo(0, 1, 0.9, 1.0),
+            combo(1, 1, 0.7, 1.0),
+            combo(2, 1, 0.5, 1.0),
+            combo(3, 1, 0.0, 0.6),
+        ]
+        selected = get_top_buckets(combos, k=2)
+        keys = {c.key() for c in selected}
+        # kthResLB = 0.7 (after two combos); the last combo has UB 0.6 <= 0.7.
+        assert combo(3, 1, 0.0, 0.6).key() not in keys
+        assert len(selected) == 3
+
+    def test_empty_and_zero_cardinality(self):
+        assert get_top_buckets([], k=10) == []
+        assert get_top_buckets([combo(0, 0, 0.0, 1.0)], k=10) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            get_top_buckets([combo(0, 1, 0.0, 1.0)], k=0)
+
+    def test_selection_satisfies_definition2(self):
+        combos = [
+            combo(i, nb, lb, min(1.0, lb + spread))
+            for i, (nb, lb, spread) in enumerate(
+                [(5, 0.9, 0.1), (3, 0.7, 0.2), (10, 0.5, 0.3), (2, 0.2, 0.5), (8, 0.0, 0.4)]
+            )
+        ]
+        for k in (1, 3, 10, 25):
+            selected = get_top_buckets(combos, k=k)
+            assert validate_selection(selected, combos, k)
+
+
+class TestSelectorStrategies:
+    @pytest.fixture()
+    def query_and_stats(self, tiny_collections):
+        query = build_query("Qs,m", tiny_collections, P1, k=5)
+        collections = {c.name: c for c in tiny_collections}
+        statistics = collect_statistics(collections, num_granules=4)
+        return query, statistics
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            TopBucketsSelector(strategy="magic")
+
+    @pytest.mark.parametrize("strategy", ["loose", "two-phase", "brute-force"])
+    def test_selection_is_sufficient(self, query_and_stats, strategy):
+        query, statistics = query_and_stats
+        space = CombinationSpace(query, statistics)
+        result = TopBucketsSelector(strategy=strategy).run(query, statistics, space)
+        assert result.selected_count > 0
+        assert result.selected_results >= min(query.k, result.total_results)
+        assert 0.0 <= result.pruned_results_fraction < 1.0
+        assert result.total_combinations == space.size()
+
+    def test_loose_never_selects_fewer_than_two_phase(self, query_and_stats):
+        """Tighter bounds can only prune more, never less."""
+        query, statistics = query_and_stats
+        loose = TopBucketsSelector(strategy="loose").run(query, statistics)
+        two_phase = TopBucketsSelector(strategy="two-phase").run(query, statistics)
+        assert two_phase.selected_count <= loose.selected_count
+
+    def test_strategies_report_work_counters(self, query_and_stats):
+        query, statistics = query_and_stats
+        loose = TopBucketsSelector(strategy="loose").run(query, statistics)
+        brute = TopBucketsSelector(strategy="brute-force").run(query, statistics)
+        assert loose.pairs_bounded > 0
+        assert loose.tight_bounds_computed == 0
+        assert brute.tight_bounds_computed == brute.total_combinations
+        summary = loose.describe()
+        assert summary["selected_combinations"] == loose.selected_count

@@ -1,0 +1,76 @@
+"""Tests for the experiment workload catalogue (Tables 1 and 2)."""
+
+import pytest
+
+from repro.experiments import PARAMETERS, QUERIES, build_query, star_spec
+from repro.experiments.workloads import QuerySpec
+from repro.temporal import ComparatorParams
+
+
+class TestParameters:
+    def test_table2_values(self):
+        assert PARAMETERS["P1"].equals == ComparatorParams(4, 16)
+        assert PARAMETERS["P1"].greater == ComparatorParams(0, 10)
+        assert PARAMETERS["P2"].equals == ComparatorParams(0, 16)
+        assert PARAMETERS["P2"].greater == ComparatorParams(2, 8)
+        assert PARAMETERS["P3"].equals == ComparatorParams(4, 12)
+        assert PARAMETERS["P3"].greater == ComparatorParams(0, 8)
+        assert PARAMETERS["PB"].equals == ComparatorParams(0, 0)
+        assert PARAMETERS["PB"].greater == ComparatorParams(0, 0)
+
+
+class TestQueryCatalogue:
+    def test_table1_queries_present(self):
+        expected = {
+            "Qb,b", "Qf,f", "Qo,o", "Qs,f,m", "Qs,s", "Qf,b", "Qo,m", "Qs,m", "QjB,jB", "QsM,sM",
+        }
+        assert expected <= set(QUERIES)
+
+    def test_qsfm_has_three_predicates(self):
+        assert len(QUERIES["Qs,f,m"].predicates) == 3
+        assert QUERIES["Qs,f,m"].num_vertices == 3
+
+    def test_build_fixed_query(self, tiny_collections):
+        query = build_query("Qs,m", tiny_collections, "P1", k=12)
+        assert query.k == 12
+        assert [e.predicate.name for e in query.edges] == ["starts", "meets"]
+        assert query.vertices == ("x1", "x2", "x3")
+
+    def test_build_with_params_object(self, tiny_collections, p1):
+        query = build_query("Qb,b", tiny_collections, p1, k=5)
+        assert query.edges[0].predicate.params == p1
+
+    def test_star_spec_shapes(self):
+        spec = star_spec("Qb*", 5)
+        assert spec.num_vertices == 5
+        assert all(edge[0] == 1 for edge in spec.predicates)
+        assert len(spec.predicates) == 4
+
+    def test_star_requires_num_vertices(self, tiny_collections):
+        with pytest.raises(ValueError):
+            build_query("Qo*", tiny_collections, "P1")
+
+    def test_star_build(self, tiny_collections):
+        collections = tiny_collections + [tiny_collections[0]]
+        query = build_query("Qm*", collections, "P1", k=5, num_vertices=4)
+        assert query.num_vertices == 4
+        assert all(e.predicate.name == "meets" for e in query.edges)
+
+    def test_unknown_query_and_family(self, tiny_collections):
+        with pytest.raises(KeyError):
+            build_query("Qxx", tiny_collections, "P1")
+        with pytest.raises(KeyError):
+            star_spec("Qz*", 3)
+        with pytest.raises(ValueError):
+            star_spec("Qb*", 1)
+
+    def test_spec_requires_enough_collections(self, pair_collections):
+        spec = QuerySpec("chain", ((1, 2, "before"), (2, 3, "before")))
+        with pytest.raises(ValueError):
+            spec.build(pair_collections, PARAMETERS["P1"])
+
+    def test_spec_accepts_mapping(self, tiny_collections):
+        spec = QUERIES["Qb,b"]
+        mapping = {f"x{i+1}": c for i, c in enumerate(tiny_collections)}
+        query = spec.build(mapping, PARAMETERS["P1"], k=3)
+        assert query.k == 3
