@@ -19,9 +19,18 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Iterator
 
-from ..mapreduce import ClusterConfig, MapReduceEngine, MapReduceJob, Mapper, Reducer, RoutingPartitioner
+from ..mapreduce import (
+    ClusterConfig,
+    ExecutionBackend,
+    FirstElementPartitioner,
+    MapReduceEngine,
+    MapReduceJob,
+    Mapper,
+    Reducer,
+)
 from ..mapreduce.cluster import JobMetrics
 from ..query.graph import ResultTuple, RTJQuery
 from ..solver.domain import DomainSet, VariableBox
@@ -40,16 +49,24 @@ class AllMatrixConfig:
     boolean_params: PredicateParams = field(default_factory=PredicateParams.boolean)
 
 
+def _partition_index(bounds: list[tuple[float, float]], start: float) -> int:
+    """Index of the start-time partition containing ``start`` (clamped to the last)."""
+    for index, (low, high) in enumerate(bounds):
+        if low <= start <= high:
+            return index
+    return len(bounds) - 1
+
+
 class _AllMatrixMapper(Mapper):
     """Replicates each interval to every reducer tuple matching its partition."""
 
-    def __init__(self, partition_of, reducers_by_vertex_partition) -> None:
-        self._partition_of = partition_of
+    def __init__(self, partitions, reducers_by_vertex_partition) -> None:
+        self._partitions = partitions
         self._reducers_by_vertex_partition = reducers_by_vertex_partition
 
     def map(self, key, value):
         vertex, interval = key, value
-        partition = self._partition_of(vertex, interval)
+        partition = _partition_index(self._partitions[vertex], interval.start)
         for reducer_id in self._reducers_by_vertex_partition.get((vertex, partition), ()):
             self.counters.increment("allmatrix.intervals_shuffled")
             yield (reducer_id, vertex), interval
@@ -84,25 +101,31 @@ class _AllMatrixReducer(Reducer):
                     return
 
 
-class _FirstElementPartitioner(RoutingPartitioner):
-    """Routes keys ``(reducer_id, ...)`` to their designated reducer."""
-
-    def __init__(self) -> None:
-        super().__init__({})
-
-    def partition(self, key, num_reducers: int) -> int:
-        return key[0] % num_reducers
-
-
 @dataclass
 class AllMatrixJoin:
-    """Runs the All-Matrix baseline for a query on the simulated cluster."""
+    """Runs the All-Matrix baseline for a query on the simulated cluster.
+
+    ``backend`` optionally shares an already-created execution backend (the
+    caller keeps ownership); otherwise the engine creates its own, released by
+    ``close()`` or by using the baseline as a context manager.
+    """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     config: AllMatrixConfig = field(default_factory=AllMatrixConfig)
+    backend: "ExecutionBackend | None" = None
 
     def __post_init__(self) -> None:
-        self.engine = MapReduceEngine(self.cluster)
+        self.engine = MapReduceEngine(self.cluster, self.backend)
+
+    def close(self) -> None:
+        """Release the engine's own backend workers (injected backends stay up)."""
+        self.engine.close()
+
+    def __enter__(self) -> "AllMatrixJoin":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def execute(self, query: RTJQuery) -> BaselineResult:
         """Evaluate the Boolean interpretation of ``query`` and return up to ``k`` matches."""
@@ -111,18 +134,13 @@ class AllMatrixJoin:
 
         partitions = self._build_partitions(boolean_query)
         reducer_tuples = self._feasible_reducer_tuples(boolean_query, partitions)
-        reducers_by_vertex_partition: dict[tuple[str, int], tuple[int, ...]] = {}
+        reducer_lists: dict[tuple[str, int], list[int]] = {}
         for reducer_id, parts in enumerate(reducer_tuples):
             for vertex, part in zip(boolean_query.vertices, parts):
-                existing = reducers_by_vertex_partition.get((vertex, part), ())
-                reducers_by_vertex_partition[(vertex, part)] = existing + (reducer_id,)
-
-        def partition_of(vertex: str, interval) -> int:
-            bounds = partitions[vertex]
-            for index, (low, high) in enumerate(bounds):
-                if low <= interval.start <= high:
-                    return index
-            return len(bounds) - 1
+                reducer_lists.setdefault((vertex, part), []).append(reducer_id)
+        reducers_by_vertex_partition = {
+            item: tuple(reducers) for item, reducers in reducer_lists.items()
+        }
 
         input_pairs = [
             (vertex, interval)
@@ -131,9 +149,9 @@ class AllMatrixJoin:
         ]
         job = MapReduceJob(
             name="allmatrix-join",
-            mapper_factory=lambda: _AllMatrixMapper(partition_of, reducers_by_vertex_partition),
-            reducer_factory=lambda: _AllMatrixReducer(boolean_query, boolean_query.k),
-            partitioner=_FirstElementPartitioner(),
+            mapper_factory=partial(_AllMatrixMapper, partitions, reducers_by_vertex_partition),
+            reducer_factory=partial(_AllMatrixReducer, boolean_query, boolean_query.k),
+            partitioner=FirstElementPartitioner(),
             num_reducers=max(1, len(reducer_tuples)),
         )
         job_result = self.engine.run(job, input_pairs)

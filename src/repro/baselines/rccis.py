@@ -20,9 +20,18 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Iterator
 
-from ..mapreduce import ClusterConfig, MapReduceEngine, MapReduceJob, Mapper, Reducer, RoutingPartitioner
+from ..mapreduce import (
+    ClusterConfig,
+    ExecutionBackend,
+    FirstElementPartitioner,
+    MapReduceEngine,
+    MapReduceJob,
+    Mapper,
+    Reducer,
+)
 from ..query.graph import ResultTuple, RTJQuery
 from ..temporal.comparators import PredicateParams
 from .common import BaselineResult, compile_boolean_checker
@@ -38,6 +47,21 @@ class RCCISConfig:
     # Intersection slack: colocation queries under scored semantics tolerate small
     # gaps; the Boolean baseline uses zero slack.
     boolean_params: PredicateParams = field(default_factory=PredicateParams.boolean)
+
+
+@dataclass(frozen=True)
+class _GranuleMap:
+    """Uniform time-axis granulation, as a picklable callable (workers need it)."""
+
+    low: float
+    high: float
+    width: float
+    num_granules: int
+
+    def __call__(self, timestamp: float) -> int:
+        if timestamp >= self.high:
+            return self.num_granules - 1
+        return min(int((timestamp - self.low) / self.width), self.num_granules - 1)
 
 
 class _ReplicationMapper(Mapper):
@@ -109,25 +133,31 @@ class _JoinReducer(Reducer):
                     return
 
 
-class _FirstElementPartitioner(RoutingPartitioner):
-    """Routes keys whose first element is the target reducer/granule."""
-
-    def __init__(self) -> None:
-        super().__init__({})
-
-    def partition(self, key, num_reducers: int) -> int:
-        return key[0] % num_reducers
-
-
 @dataclass
 class RCCISJoin:
-    """Runs the RCCIS baseline for a query on the simulated cluster."""
+    """Runs the RCCIS baseline for a query on the simulated cluster.
+
+    ``backend`` optionally shares an already-created execution backend (the
+    caller keeps ownership); otherwise the engine creates its own, released by
+    ``close()`` or by using the baseline as a context manager.
+    """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     config: RCCISConfig = field(default_factory=RCCISConfig)
+    backend: "ExecutionBackend | None" = None
 
     def __post_init__(self) -> None:
-        self.engine = MapReduceEngine(self.cluster)
+        self.engine = MapReduceEngine(self.cluster, self.backend)
+
+    def close(self) -> None:
+        """Release the engine's own backend workers (injected backends stay up)."""
+        self.engine.close()
+
+    def __enter__(self) -> "RCCISJoin":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def execute(self, query: RTJQuery) -> BaselineResult:
         """Evaluate the Boolean interpretation of ``query`` and return up to ``k`` matches."""
@@ -141,11 +171,7 @@ class RCCISJoin:
             boolean_query.collections[v].time_range()[1] for v in boolean_query.vertices
         )
         width = (high - low) / self.config.num_granules or 1.0
-
-        def granule_of(timestamp: float) -> int:
-            if timestamp >= high:
-                return self.config.num_granules - 1
-            return min(int((timestamp - low) / width), self.config.num_granules - 1)
+        granule_of = _GranuleMap(low, high, width, self.config.num_granules)
 
         input_pairs = [
             (vertex, interval)
@@ -156,7 +182,7 @@ class RCCISJoin:
         # Phase 1: replication planning.
         planning_job = MapReduceJob(
             name="rccis-replication",
-            mapper_factory=lambda: _ReplicationMapper(granule_of),
+            mapper_factory=partial(_ReplicationMapper, granule_of),
             reducer_factory=_ReplicationReducer,
             num_reducers=self.cluster.num_reducers,
         )
@@ -166,8 +192,8 @@ class RCCISJoin:
         join_job = MapReduceJob(
             name="rccis-join",
             mapper_factory=_JoinMapper,
-            reducer_factory=lambda: _JoinReducer(boolean_query, boolean_query.k, granule_of),
-            partitioner=_FirstElementPartitioner(),
+            reducer_factory=partial(_JoinReducer, boolean_query, boolean_query.k, granule_of),
+            partitioner=FirstElementPartitioner(),
             num_reducers=self.config.num_granules,
         )
         join_result = self.engine.run(join_job, planning_result.outputs)

@@ -8,6 +8,7 @@ need the job metrics).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Iterable, Sequence
 
 from ..mapreduce import MapReduceEngine, MapReduceJob, Mapper, Reducer
@@ -66,7 +67,7 @@ def run_merge_job(
     job = MapReduceJob(
         name="tkij-merge",
         mapper_factory=_MergeMapper,
-        reducer_factory=lambda: _MergeReducer(k),
+        reducer_factory=partial(_MergeReducer, k),
         num_reducers=1,
     )
     job_result = engine.run(job, input_pairs)

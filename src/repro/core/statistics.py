@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Iterator, Mapping
 
 from ..mapreduce import ClusterConfig, MapReduceEngine, MapReduceJob, Mapper, Reducer
@@ -245,7 +246,7 @@ def collect_statistics_mapreduce(
     ]
     job = MapReduceJob(
         name="tkij-statistics",
-        mapper_factory=lambda: _StatisticsMapper(granularities),
+        mapper_factory=partial(_StatisticsMapper, granularities),
         reducer_factory=_StatisticsReducer,
         num_reducers=min(len(collections), engine.cluster.num_reducers) or 1,
     )

@@ -19,15 +19,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Iterator, Mapping
 
 from ..mapreduce import (
     ClusterConfig,
+    ExecutionBackend,
+    FirstElementPartitioner,
     MapReduceEngine,
     MapReduceJob,
     Mapper,
     Reducer,
-    RoutingPartitioner,
 )
 from ..mapreduce.cluster import JobMetrics
 from ..query.graph import ResultTuple, RTJQuery
@@ -142,23 +144,17 @@ class _JoinReducer(Reducer):
         yield "local_top_k", (self._reducer_id, results, stats)
 
 
-class _JoinPartitioner(RoutingPartitioner):
-    """Routes join keys ``(reducer, vertex, bucket)`` to their designated reducer."""
-
-    def __init__(self) -> None:
-        super().__init__({})
-
-    def partition(self, key, num_reducers: int) -> int:
-        return key[0] % num_reducers
-
-
 @dataclass
 class TKIJ:
     """Evaluator for Ranked Temporal Join queries on the simulated Map-Reduce cluster.
 
     Parameters mirror the paper's experimental knobs: the number of granules of the
     statistics, the TopBuckets strategy, the workload-assignment policy, the
-    cluster size, and the local-join configuration.
+    cluster size (including the execution backend running the map/reduce tasks),
+    and the local-join configuration.  ``backend`` injects an already-created
+    execution backend so several evaluators can share one worker pool (the
+    caller keeps ownership and closes it); left ``None``, the engine creates —
+    and on ``close()`` releases — its own from the cluster config.
     """
 
     num_granules: int = 20
@@ -168,13 +164,24 @@ class TKIJ:
     join_config: LocalJoinConfig = field(default_factory=LocalJoinConfig)
     solver: BranchAndBoundSolver = field(default_factory=BranchAndBoundSolver)
     statistics_on_mapreduce: bool = False
+    backend: "ExecutionBackend | None" = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {self.strategy!r}")
         if self.assigner not in ASSIGNERS:
             raise ValueError(f"unknown assigner {self.assigner!r}")
-        self.engine = MapReduceEngine(self.cluster)
+        self.engine = MapReduceEngine(self.cluster, self.backend)
+
+    def close(self) -> None:
+        """Release the engine's own backend workers (injected backends stay up)."""
+        self.engine.close()
+
+    def __enter__(self) -> "TKIJ":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ phases
     def collect_statistics(
@@ -254,17 +261,19 @@ class TKIJ:
                 input_pairs.append((vertex, interval))
             bucket_of[vertex] = per_interval
 
-        routing: dict[tuple[str, BucketKey], tuple[int, ...]] = {}
+        reducers_of: dict[tuple[str, BucketKey], list[int]] = {}
         for reducer, buckets in assignment.buckets_per_reducer.items():
             for item in buckets:
-                routing.setdefault(item, ())
-                routing[item] = routing[item] + (reducer,)
+                reducers_of.setdefault(item, []).append(reducer)
+        routing: dict[tuple[str, BucketKey], tuple[int, ...]] = {
+            item: tuple(reducers) for item, reducers in reducers_of.items()
+        }
 
         job = MapReduceJob(
             name="tkij-join",
-            mapper_factory=lambda: _JoinMapper(bucket_of, routing),
-            reducer_factory=lambda: _JoinReducer(query, assignment, self.join_config),
-            partitioner=_JoinPartitioner(),
+            mapper_factory=partial(_JoinMapper, bucket_of, routing),
+            reducer_factory=partial(_JoinReducer, query, assignment, self.join_config),
+            partitioner=FirstElementPartitioner(),
             num_reducers=self.cluster.num_reducers,
         )
         job_result = self.engine.run(job, input_pairs)

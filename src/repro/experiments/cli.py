@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Sequence
 
+from ..mapreduce import BACKEND_NAMES
 from .harness import ResultTable
 from .network_figures import (
     figure12_network_distribution,
@@ -33,24 +34,54 @@ def _sizes(argument: str) -> tuple[int, ...]:
     return tuple(int(part) for part in argument.split(",") if part)
 
 
+def _positive_int(argument: str) -> int:
+    value = int(argument)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _backend_kwargs(args: argparse.Namespace) -> dict[str, object]:
+    """Execution-backend options forwarded to every TKIJ-running driver."""
+    return {"backend": args.backend, "max_workers": args.max_workers}
+
+
 EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
+    # fig7 and fig12 only characterise the data; they never run the engine and
+    # therefore take no backend options.
     "fig7": lambda args: figure7_score_distribution(size=args.size),
     "fig8": lambda args: figure8_workload_distribution(
-        sizes=args.sizes or (args.size,), k=args.k, num_granules=args.granules
+        sizes=args.sizes or (args.size,),
+        k=args.k,
+        num_granules=args.granules,
+        **_backend_kwargs(args),
     ),
     "fig9": lambda args: figure9_topbuckets_strategies(
-        size=args.size, num_granules=args.granules, k=args.k
+        size=args.size, num_granules=args.granules, k=args.k, **_backend_kwargs(args)
     ),
-    "fig10": lambda args: figure10_granules(size=args.size, k=args.k),
+    "fig10": lambda args: figure10_granules(
+        size=args.size, k=args.k, **_backend_kwargs(args)
+    ),
     "fig11": lambda args: figure11_scalability(
-        sizes=args.sizes or (args.size,), k=args.k, num_granules=args.granules
+        sizes=args.sizes or (args.size,),
+        k=args.k,
+        num_granules=args.granules,
+        **_backend_kwargs(args),
     ),
     "fig12": lambda args: figure12_network_distribution(),
-    "fig13": lambda args: figure13_network_scalability(k=args.k, num_granules=args.granules),
-    "fig14": lambda args: figure14_network_effect_k(num_granules=args.granules),
-    "effect-k": lambda args: effect_of_k_synthetic(size=args.size, num_granules=args.granules),
+    "fig13": lambda args: figure13_network_scalability(
+        k=args.k, num_granules=args.granules, **_backend_kwargs(args)
+    ),
+    "fig14": lambda args: figure14_network_effect_k(
+        num_granules=args.granules, **_backend_kwargs(args)
+    ),
+    "effect-k": lambda args: effect_of_k_synthetic(
+        size=args.size, num_granules=args.granules, **_backend_kwargs(args)
+    ),
     "statistics": lambda args: statistics_collection_times(
-        sizes=args.sizes or (1_000, 5_000, 20_000), num_granules=args.granules
+        sizes=args.sizes or (1_000, 5_000, 20_000),
+        num_granules=args.granules,
+        **_backend_kwargs(args),
     ),
 }
 """Experiment name -> driver invocation (parameterised by the parsed CLI options)."""
@@ -69,6 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--k", type=int, default=100, help="number of results to return")
     parser.add_argument("--granules", type=int, default=10, help="granules per collection")
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="serial",
+        help="execution backend for map/reduce tasks",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=_positive_int,
+        default=None,
+        help="worker pool size for the thread/process backends (default: CPU count)",
+    )
     parser.add_argument("--output", type=str, default=None, help="write the table to this file")
     return parser
 

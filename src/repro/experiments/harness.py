@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from ..core import TKIJ, LocalJoinConfig, TKIJResult
-from ..mapreduce import ClusterConfig
+from ..mapreduce import ClusterConfig, ExecutionBackend
 from ..query.graph import RTJQuery
 from ..solver import BranchAndBoundSolver
 
@@ -66,35 +66,62 @@ def _fmt(value: Any) -> str:
 
 @dataclass(frozen=True)
 class TKIJRunConfig:
-    """One TKIJ configuration point of an experiment."""
+    """One TKIJ configuration point of an experiment.
+
+    ``backend``/``max_workers`` select the execution backend of the simulated
+    cluster (``serial``, ``thread`` or ``process``), so any figure driver can
+    run its joins serially or in parallel.
+    """
 
     num_granules: int = 20
     strategy: str = "loose"
     assigner: str = "dtb"
     num_reducers: int = 8
     num_mappers: int = 4
+    backend: str = "serial"
+    max_workers: int | None = None
     use_index: bool = True
     early_termination: bool = True
     solver_max_nodes: int = 64
 
-    def make_runner(self) -> TKIJ:
-        """Instantiate the TKIJ evaluator for this configuration."""
+    def make_runner(self, backend: ExecutionBackend | None = None) -> TKIJ:
+        """Instantiate the TKIJ evaluator for this configuration.
+
+        ``backend`` injects an already-created (shared) execution backend; the
+        caller keeps ownership of it.
+        """
         return TKIJ(
             num_granules=self.num_granules,
             strategy=self.strategy,
             assigner=self.assigner,
-            cluster=ClusterConfig(num_reducers=self.num_reducers, num_mappers=self.num_mappers),
+            cluster=ClusterConfig(
+                num_reducers=self.num_reducers,
+                num_mappers=self.num_mappers,
+                backend=self.backend,
+                max_workers=self.max_workers,
+            ),
             join_config=LocalJoinConfig(
                 use_index=self.use_index, early_termination=self.early_termination
             ),
             solver=BranchAndBoundSolver(max_nodes=self.solver_max_nodes),
+            backend=backend,
         )
 
+def run_tkij(
+    query: RTJQuery,
+    config: TKIJRunConfig | None = None,
+    backend: ExecutionBackend | None = None,
+) -> TKIJResult:
+    """Run one query under one configuration and return the execution report.
 
-def run_tkij(query: RTJQuery, config: TKIJRunConfig | None = None) -> TKIJResult:
-    """Run one query under one configuration and return the execution report."""
+    Without ``backend``, worker pools live only for this call; pass a shared
+    backend (``repro.mapreduce.create_backend``, a context manager) to
+    amortise pool start-up across many queries — the backend then overrides
+    the config's ``backend``/``max_workers`` fields and the caller closes it.
+    """
     config = config or TKIJRunConfig()
-    return config.make_runner().execute(query)
+    with config.make_runner(backend) as runner:
+        return runner.execute(query)
 
 
 def summarize(results: Mapping[str, TKIJResult], keys: Sequence[str]) -> ResultTable:

@@ -18,6 +18,7 @@ from ..datagen.network import (
     sample_collection,
 )
 from ..temporal.interval import IntervalCollection
+from ..mapreduce import create_backend
 from .harness import ResultTable, TKIJRunConfig, run_tkij
 from .workloads import build_query
 
@@ -87,6 +88,8 @@ def figure13_network_scalability(
     params_name: str = "P3",
     config: NetworkTraceConfig | None = None,
     seed: int = 13,
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> ResultTable:
     """Running time while the sampled fraction of the trace grows (Figure 13)."""
     base = generate_network_collection(config, seed=seed)
@@ -94,23 +97,27 @@ def figure13_network_scalability(
         title=f"Figure 13 — network scalability ({params_name}, g={num_granules}, k={k})",
         columns=["query", "fraction", "size", "total_seconds", "topbuckets_seconds", "nonempty_buckets"],
     )
-    for fraction in fractions:
-        sampled = sample_collection(base, fraction, seed=seed)
-        collections = [
-            IntervalCollection(f"{sampled.name}-{i + 1}", list(sampled.intervals)) for i in range(3)
-        ]
-        for query_name in queries:
-            query = build_query(query_name, collections, params_name, k=k)
-            result = run_tkij(query, TKIJRunConfig(num_granules=num_granules))
-            matrix = result.top_buckets
-            table.add_row(
-                query=query_name,
-                fraction=fraction,
-                size=len(sampled),
-                total_seconds=result.total_seconds,
-                topbuckets_seconds=result.phase_seconds["top_buckets"],
-                nonempty_buckets=matrix.total_combinations,
-            )
+    with create_backend(backend, max_workers) as shared_backend:
+        for fraction in fractions:
+            sampled = sample_collection(base, fraction, seed=seed)
+            collections = [
+                IntervalCollection(f"{sampled.name}-{i + 1}", list(sampled.intervals))
+                for i in range(3)
+            ]
+            for query_name in queries:
+                query = build_query(query_name, collections, params_name, k=k)
+                result = run_tkij(
+                    query, TKIJRunConfig(num_granules=num_granules), backend=shared_backend
+                )
+                matrix = result.top_buckets
+                table.add_row(
+                    query=query_name,
+                    fraction=fraction,
+                    size=len(sampled),
+                    total_seconds=result.total_seconds,
+                    topbuckets_seconds=result.phase_seconds["top_buckets"],
+                    nonempty_buckets=matrix.total_combinations,
+                )
     return table
 
 
@@ -122,6 +129,8 @@ def figure14_network_effect_k(
     params_name: str = "P3",
     config: NetworkTraceConfig | None = None,
     seed: int = 13,
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> ResultTable:
     """Running time as k grows on the network trace (Figure 14)."""
     collections = network_collections(config, seed=seed)
@@ -129,14 +138,17 @@ def figure14_network_effect_k(
         title=f"Figure 14 — network data, effect of k ({params_name}, g={num_granules})",
         columns=["query", "k", "total_seconds", "selected_combinations"],
     )
-    for query_name in queries:
-        for k in ks:
-            query = build_query(query_name, collections, params_name, k=k)
-            result = run_tkij(query, TKIJRunConfig(num_granules=num_granules))
-            table.add_row(
-                query=query_name,
-                k=k,
-                total_seconds=result.total_seconds,
-                selected_combinations=result.top_buckets.selected_count,
-            )
+    with create_backend(backend, max_workers) as shared_backend:
+        for query_name in queries:
+            for k in ks:
+                query = build_query(query_name, collections, params_name, k=k)
+                result = run_tkij(
+                    query, TKIJRunConfig(num_granules=num_granules), backend=shared_backend
+                )
+                table.add_row(
+                    query=query_name,
+                    k=k,
+                    total_seconds=result.total_seconds,
+                    selected_combinations=result.top_buckets.selected_count,
+                )
     return table

@@ -10,7 +10,7 @@ from ..baselines.allmatrix import AllMatrixConfig, AllMatrixJoin
 from ..baselines.rccis import RCCISConfig, RCCISJoin
 from ..core.statistics import collect_statistics_mapreduce
 from ..datagen.synthetic import SyntheticConfig, generate_collections
-from ..mapreduce import ClusterConfig
+from ..mapreduce import ClusterConfig, MapReduceEngine, create_backend
 from .harness import ResultTable, TKIJRunConfig, run_tkij
 from .workloads import build_query
 
@@ -32,47 +32,61 @@ def figure11_scalability(
     num_granules: int = 10,
     num_reducers: int = 8,
     seed: int = 7,
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> ResultTable:
     """TKIJ (scored P1 and Boolean PB) against All-Matrix / RCCIS while |Ci| grows."""
     table = ResultTable(
         title=f"Figure 11 — scalability (g={num_granules}, k={k})",
         columns=["query", "size", "system", "total_seconds", "shuffle_records", "results"],
     )
-    for query_name in queries:
-        baseline_name = _BASELINE_FOR_QUERY.get(query_name, "RCCIS")
-        for size in sizes:
-            collections = list(
-                generate_collections(3, SyntheticConfig(size=size), seed=seed).values()
-            )
+    with create_backend(backend, max_workers) as shared_backend:
+        for query_name in queries:
+            baseline_name = _BASELINE_FOR_QUERY.get(query_name, "RCCIS")
+            for size in sizes:
+                collections = list(
+                    generate_collections(3, SyntheticConfig(size=size), seed=seed).values()
+                )
 
-            for params_name in ("P1", "PB"):
-                query = build_query(query_name, collections, params_name, k=k)
-                config = TKIJRunConfig(num_granules=num_granules, num_reducers=num_reducers)
-                result = run_tkij(query, config)
+                for params_name in ("P1", "PB"):
+                    query = build_query(query_name, collections, params_name, k=k)
+                    config = TKIJRunConfig(
+                        num_granules=num_granules, num_reducers=num_reducers
+                    )
+                    result = run_tkij(query, config, backend=shared_backend)
+                    table.add_row(
+                        query=query_name,
+                        size=size,
+                        system=f"TKIJ-{params_name}",
+                        total_seconds=result.total_seconds,
+                        shuffle_records=result.join_metrics.shuffle_records,
+                        results=len(result.results),
+                    )
+
+                boolean_query = build_query(query_name, collections, "PB", k=k)
+                cluster = ClusterConfig(num_reducers=num_reducers)
+                if baseline_name == "All-Matrix":
+                    baseline = AllMatrixJoin(
+                        cluster=cluster,
+                        config=AllMatrixConfig(num_partitions=4),
+                        backend=shared_backend,
+                    )
+                else:
+                    baseline = RCCISJoin(
+                        cluster=cluster,
+                        config=RCCISConfig(num_granules=num_reducers),
+                        backend=shared_backend,
+                    )
+                with baseline:
+                    baseline_result = baseline.execute(boolean_query)
                 table.add_row(
                     query=query_name,
                     size=size,
-                    system=f"TKIJ-{params_name}",
-                    total_seconds=result.total_seconds,
-                    shuffle_records=result.join_metrics.shuffle_records,
-                    results=len(result.results),
+                    system=f"{baseline_name}-PB",
+                    total_seconds=baseline_result.elapsed_seconds,
+                    shuffle_records=baseline_result.shuffle_records,
+                    results=len(baseline_result.results),
                 )
-
-            boolean_query = build_query(query_name, collections, "PB", k=k)
-            cluster = ClusterConfig(num_reducers=num_reducers)
-            if baseline_name == "All-Matrix":
-                baseline = AllMatrixJoin(cluster=cluster, config=AllMatrixConfig(num_partitions=4))
-            else:
-                baseline = RCCISJoin(cluster=cluster, config=RCCISConfig(num_granules=num_reducers))
-            baseline_result = baseline.execute(boolean_query)
-            table.add_row(
-                query=query_name,
-                size=size,
-                system=f"{baseline_name}-PB",
-                total_seconds=baseline_result.elapsed_seconds,
-                shuffle_records=baseline_result.shuffle_records,
-                results=len(baseline_result.results),
-            )
     return table
 
 
@@ -81,23 +95,26 @@ def statistics_collection_times(
     num_granules: int = 20,
     num_collections: int = 3,
     seed: int = 7,
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> ResultTable:
     """Statistics-collection time versus collection size (Section 4, "Statistics collection")."""
     table = ResultTable(
         title=f"Statistics collection (g={num_granules}, {num_collections} collections)",
         columns=["size", "seconds", "shuffle_records", "nonempty_buckets"],
     )
-    for size in sizes:
-        collections = generate_collections(
-            num_collections, SyntheticConfig(size=size), seed=seed
-        )
-        statistics = collect_statistics_mapreduce(collections, num_granules)
-        metrics = statistics.collection_metrics
-        first = next(iter(collections))
-        table.add_row(
-            size=size,
-            seconds=metrics.elapsed_seconds if metrics else 0.0,
-            shuffle_records=metrics.shuffle_records if metrics else 0,
-            nonempty_buckets=statistics.nonempty_bucket_count(first),
-        )
+    with MapReduceEngine(ClusterConfig(backend=backend, max_workers=max_workers)) as engine:
+        for size in sizes:
+            collections = generate_collections(
+                num_collections, SyntheticConfig(size=size), seed=seed
+            )
+            statistics = collect_statistics_mapreduce(collections, num_granules, engine)
+            metrics = statistics.collection_metrics
+            first = next(iter(collections))
+            table.add_row(
+                size=size,
+                seconds=metrics.elapsed_seconds if metrics else 0.0,
+                shuffle_records=metrics.shuffle_records if metrics else 0,
+                nonempty_buckets=statistics.nonempty_bucket_count(first),
+            )
     return table

@@ -13,6 +13,7 @@ from typing import Sequence
 from ..baselines.naive import all_pair_scores
 from ..datagen.synthetic import SyntheticConfig, generate_collections
 from ..temporal.predicates import predicate_by_name
+from ..mapreduce import create_backend
 from .harness import ResultTable, TKIJRunConfig, run_tkij
 from .workloads import PARAMETERS, build_query, star_spec
 
@@ -76,6 +77,8 @@ def figure8_workload_distribution(
     num_reducers: int = 8,
     assigners: Sequence[str] = ("lpt", "dtb"),
     seed: int = 7,
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> ResultTable:
     """LPT vs DTB: join time (8a), max reducer time (8b), min k-th score (8c)."""
     table = ResultTable(
@@ -90,26 +93,27 @@ def figure8_workload_distribution(
             "shuffle_records",
         ],
     )
-    for size in sizes:
-        collections = _collections(3, size, seed=seed)
-        for query_name in queries:
-            for assigner in assigners:
-                query = build_query(query_name, collections, params_name, k=k)
-                config = TKIJRunConfig(
-                    num_granules=num_granules,
-                    assigner=assigner,
-                    num_reducers=num_reducers,
-                )
-                result = run_tkij(query, config)
-                table.add_row(
-                    size=size,
-                    query=query_name,
-                    assigner=assigner.upper(),
-                    join_seconds=result.phase_seconds["join"],
-                    max_reduce_seconds=result.join_metrics.max_reduce_seconds,
-                    min_kth_score=result.min_kth_score,
-                    shuffle_records=result.join_metrics.shuffle_records,
-                )
+    with create_backend(backend, max_workers) as shared_backend:
+        for size in sizes:
+            collections = _collections(3, size, seed=seed)
+            for query_name in queries:
+                for assigner in assigners:
+                    query = build_query(query_name, collections, params_name, k=k)
+                    config = TKIJRunConfig(
+                        num_granules=num_granules,
+                        assigner=assigner,
+                        num_reducers=num_reducers,
+                    )
+                    result = run_tkij(query, config, backend=shared_backend)
+                    table.add_row(
+                        size=size,
+                        query=query_name,
+                        assigner=assigner.upper(),
+                        join_seconds=result.phase_seconds["join"],
+                        max_reduce_seconds=result.join_metrics.max_reduce_seconds,
+                        min_kth_score=result.min_kth_score,
+                        shuffle_records=result.join_metrics.shuffle_records,
+                    )
     return table
 
 
@@ -123,6 +127,8 @@ def figure9_topbuckets_strategies(
     params_name: str = "P1",
     strategies: Sequence[str] = ("brute-force", "two-phase", "loose"),
     seed: int = 7,
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> ResultTable:
     """Detailed stage times of the three TopBuckets strategies on Qb*, Qo*, Qm*."""
     table = ResultTable(
@@ -139,25 +145,26 @@ def figure9_topbuckets_strategies(
             "selected_combinations",
         ],
     )
-    for family in families:
-        for n in num_vertices:
-            collections = _collections(n, size, seed=seed)
-            spec = star_spec(family, n)
-            for strategy in strategies:
-                query = spec.build(collections, PARAMETERS[params_name], k=k)
-                config = TKIJRunConfig(num_granules=num_granules, strategy=strategy)
-                result = run_tkij(query, config)
-                table.add_row(
-                    query=family,
-                    n=n,
-                    strategy=strategy,
-                    topbuckets_seconds=result.phase_seconds["top_buckets"],
-                    distribution_seconds=result.phase_seconds["distribution"],
-                    join_seconds=result.phase_seconds["join"],
-                    merge_seconds=result.phase_seconds["merge"],
-                    total_seconds=result.total_seconds,
-                    selected_combinations=result.top_buckets.selected_count,
-                )
+    with create_backend(backend, max_workers) as shared_backend:
+        for family in families:
+            for n in num_vertices:
+                collections = _collections(n, size, seed=seed)
+                spec = star_spec(family, n)
+                for strategy in strategies:
+                    query = spec.build(collections, PARAMETERS[params_name], k=k)
+                    config = TKIJRunConfig(num_granules=num_granules, strategy=strategy)
+                    result = run_tkij(query, config, backend=shared_backend)
+                    table.add_row(
+                        query=family,
+                        n=n,
+                        strategy=strategy,
+                        topbuckets_seconds=result.phase_seconds["top_buckets"],
+                        distribution_seconds=result.phase_seconds["distribution"],
+                        join_seconds=result.phase_seconds["join"],
+                        merge_seconds=result.phase_seconds["merge"],
+                        total_seconds=result.total_seconds,
+                        selected_combinations=result.top_buckets.selected_count,
+                    )
     return table
 
 
@@ -169,6 +176,8 @@ def figure10_granules(
     k: int = 100,
     params_name: str = "P1",
     seed: int = 7,
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> ResultTable:
     """Effect of the number of granules: total time (10a), imbalance (10b), detail (10c)."""
     table = ResultTable(
@@ -184,21 +193,24 @@ def figure10_granules(
             "selected_combinations",
         ],
     )
-    for query_name in queries:
-        collections = _collections(3, size, seed=seed)
-        for g in granules:
-            query = build_query(query_name, collections, params_name, k=k)
-            result = run_tkij(query, TKIJRunConfig(num_granules=g))
-            table.add_row(
-                query=query_name,
-                g=g,
-                total_seconds=result.total_seconds,
-                imbalance=result.join_metrics.imbalance,
-                topbuckets_seconds=result.phase_seconds["top_buckets"],
-                join_seconds=result.phase_seconds["join"],
-                pruned_fraction=result.top_buckets.pruned_results_fraction,
-                selected_combinations=result.top_buckets.selected_count,
-            )
+    with create_backend(backend, max_workers) as shared_backend:
+        for query_name in queries:
+            collections = _collections(3, size, seed=seed)
+            for g in granules:
+                query = build_query(query_name, collections, params_name, k=k)
+                result = run_tkij(
+                    query, TKIJRunConfig(num_granules=g), backend=shared_backend
+                )
+                table.add_row(
+                    query=query_name,
+                    g=g,
+                    total_seconds=result.total_seconds,
+                    imbalance=result.join_metrics.imbalance,
+                    topbuckets_seconds=result.phase_seconds["top_buckets"],
+                    join_seconds=result.phase_seconds["join"],
+                    pruned_fraction=result.top_buckets.pruned_results_fraction,
+                    selected_combinations=result.top_buckets.selected_count,
+                )
     return table
 
 
@@ -210,21 +222,26 @@ def effect_of_k_synthetic(
     num_granules: int = 10,
     params_name: str = "P1",
     seed: int = 7,
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> ResultTable:
     """Section 4.2.6: running time as k varies (expected to stay nearly flat)."""
     table = ResultTable(
         title=f"Effect of k (synthetic, |Ci|={size}, g={num_granules})",
         columns=["query", "k", "total_seconds", "selected_combinations"],
     )
-    for query_name in queries:
-        collections = _collections(3, size, seed=seed)
-        for k in ks:
-            query = build_query(query_name, collections, params_name, k=k)
-            result = run_tkij(query, TKIJRunConfig(num_granules=num_granules))
-            table.add_row(
-                query=query_name,
-                k=k,
-                total_seconds=result.total_seconds,
-                selected_combinations=result.top_buckets.selected_count,
-            )
+    with create_backend(backend, max_workers) as shared_backend:
+        for query_name in queries:
+            collections = _collections(3, size, seed=seed)
+            for k in ks:
+                query = build_query(query_name, collections, params_name, k=k)
+                result = run_tkij(
+                    query, TKIJRunConfig(num_granules=num_granules), backend=shared_backend
+                )
+                table.add_row(
+                    query=query_name,
+                    k=k,
+                    total_seconds=result.total_seconds,
+                    selected_combinations=result.top_buckets.selected_count,
+                )
     return table

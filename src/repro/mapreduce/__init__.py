@@ -1,28 +1,47 @@
-"""Simulated Map-Reduce substrate: jobs, partitioners, engine and metrics."""
+"""Simulated Map-Reduce substrate: jobs, partitioners, engine, backends and metrics."""
 
-from .cluster import ClusterConfig, JobMetrics, TaskMetrics
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    create_backend,
+)
+from .cluster import BACKEND_NAMES, ClusterConfig, JobMetrics, TaskMetrics
 from .counters import Counters
 from .engine import JobResult, MapReduceEngine
 from .job import (
+    FirstElementPartitioner,
     HashPartitioner,
     MapReduceJob,
     Mapper,
     Partitioner,
     Reducer,
     RoutingPartitioner,
+    default_record_size,
 )
 
 __all__ = [
+    "BACKENDS",
+    "BACKEND_NAMES",
     "ClusterConfig",
     "JobMetrics",
     "TaskMetrics",
     "Counters",
     "JobResult",
     "MapReduceEngine",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "create_backend",
+    "FirstElementPartitioner",
     "HashPartitioner",
     "MapReduceJob",
     "Mapper",
     "Partitioner",
     "Reducer",
     "RoutingPartitioner",
+    "default_record_size",
 ]

@@ -1,0 +1,48 @@
+"""Pluggable execution backends for the Map-Reduce engine.
+
+A backend executes the independent tasks of one job phase (map splits,
+reduce partitions) and returns per-task results in task order; the engine
+merges them deterministically, so every backend produces identical outputs
+and counters — only timings differ.  Select a backend by name through
+:class:`~repro.mapreduce.cluster.ClusterConfig`::
+
+    ClusterConfig(backend="process", max_workers=4)
+
+or construct one directly and hand it to the engine.
+"""
+
+from ..cluster import BACKEND_NAMES
+from .base import ExecutionBackend, MapTask, ReduceTask, Task, TaskResult, execute_task
+from .processes import ProcessPoolBackend
+from .serial import SerialBackend
+from .threads import ThreadPoolBackend
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "MapTask",
+    "ReduceTask",
+    "Task",
+    "TaskResult",
+    "execute_task",
+    "BACKENDS",
+    "create_backend",
+]
+
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadPoolBackend.name: ThreadPoolBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+"""Backend name -> class, keyed by the names ``ClusterConfig`` validates against."""
+
+assert set(BACKENDS) == set(BACKEND_NAMES), "backend registry out of sync with ClusterConfig"
+
+
+def create_backend(name: str, max_workers: int | None = None) -> ExecutionBackend:
+    """Instantiate a backend by name (``serial``, ``thread`` or ``process``)."""
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}")
+    return BACKENDS[name](max_workers=max_workers)

@@ -1,0 +1,148 @@
+"""Execution-backend contract: tasks, task results and the backend interface.
+
+The engine decomposes every job into independent *tasks* — one
+:class:`MapTask` per input split and one :class:`ReduceTask` per shuffle
+partition — and hands them to an :class:`ExecutionBackend` for execution.
+Tasks are plain picklable callables (see DESIGN.md §3): everything a worker
+needs (the job description, its slice of the data) travels inside the task,
+and everything the engine needs back (outputs, per-task timing, counters)
+travels inside the :class:`TaskResult`.  Backends MUST return results in task
+order; the engine merges outputs and counters deterministically from that
+order, which is what makes every backend produce byte-identical results.
+
+For the process backend the pickling requirement is real: job factories must
+be module-level classes or :func:`functools.partial` objects over them —
+never lambdas or closures (see :mod:`repro.mapreduce.job`).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Sequence, Union
+
+from ..cluster import TaskMetrics
+from ..counters import Counters
+from ..job import KeyValue, MapReduceJob
+
+__all__ = [
+    "TaskResult",
+    "MapTask",
+    "ReduceTask",
+    "Task",
+    "ExecutionBackend",
+    "execute_task",
+    "partition_sort_key",
+]
+
+
+@dataclass
+class TaskResult:
+    """Everything one executed task sends back to the engine."""
+
+    task_id: int
+    outputs: list[KeyValue]
+    metrics: TaskMetrics
+    counters: Counters
+
+
+@dataclass(frozen=True)
+class MapTask:
+    """One map task: a fresh mapper applied to one input split."""
+
+    job: MapReduceJob
+    task_id: int
+    split: tuple[KeyValue, ...]
+
+    def __call__(self) -> TaskResult:
+        mapper = self.job.mapper_factory()
+        counters = Counters()
+        mapper.setup(counters)
+        metrics = TaskMetrics(task_id=self.task_id, input_records=len(self.split))
+        outputs: list[KeyValue] = []
+        started = time.perf_counter()
+        for key, value in self.split:
+            for pair in mapper.map(key, value):
+                outputs.append(pair)
+        metrics.elapsed_seconds = time.perf_counter() - started
+        metrics.output_records = len(outputs)
+        return TaskResult(self.task_id, outputs, metrics, counters)
+
+
+@dataclass(frozen=True)
+class ReduceTask:
+    """One reduce task: a fresh reducer folded over one shuffle partition.
+
+    Keys are reduced in a deterministic order independent of insertion order,
+    so that all backends emit identical output sequences.
+    """
+
+    job: MapReduceJob
+    task_id: int
+    partition: dict[Any, list[Any]]
+
+    def __call__(self) -> TaskResult:
+        reducer = self.job.reducer_factory()
+        counters = Counters()
+        reducer.setup(counters)
+        metrics = TaskMetrics(
+            task_id=self.task_id,
+            input_records=sum(len(values) for values in self.partition.values()),
+        )
+        outputs: list[KeyValue] = []
+        started = time.perf_counter()
+        for key in sorted(self.partition.keys(), key=partition_sort_key):
+            for pair in reducer.reduce(key, self.partition[key]):
+                outputs.append(pair)
+        for pair in reducer.cleanup():
+            outputs.append(pair)
+        metrics.elapsed_seconds = time.perf_counter() - started
+        metrics.output_records = len(outputs)
+        return TaskResult(self.task_id, outputs, metrics, counters)
+
+
+Task = Union[MapTask, ReduceTask]
+
+
+def execute_task(task: Task) -> TaskResult:
+    """Run one task (module-level so executors can ship it to workers)."""
+    return task()
+
+
+def partition_sort_key(key: Any) -> Any:
+    """Deterministic ordering of heterogeneous keys inside a partition."""
+    return (str(type(key)), repr(key))
+
+
+class ExecutionBackend(ABC):
+    """Executes a batch of independent tasks and returns results in task order.
+
+    Backends own whatever worker state they need (thread/process pools are
+    created lazily on first use) and release it in :meth:`close`.  They are
+    reusable across jobs: the engine keeps one backend for its lifetime so
+    pool start-up cost is amortised over many jobs.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    @abstractmethod
+    def run_tasks(self, tasks: Sequence[Task]) -> list[TaskResult]:
+        """Execute every task; result ``i`` corresponds to ``tasks[i]``."""
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; the backend stays usable)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(max_workers={self.max_workers})"

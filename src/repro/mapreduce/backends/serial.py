@@ -1,0 +1,23 @@
+"""Serial backend: today's deterministic single-thread execution (the default)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import ExecutionBackend, Task, TaskResult
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs every task inline, in task order, on the calling thread.
+
+    This is the reference implementation: the parallel backends are correct
+    exactly when they are observationally equivalent to this one (same
+    outputs, same counters; only timings may differ).
+    """
+
+    name = "serial"
+
+    def run_tasks(self, tasks: Sequence[Task]) -> list[TaskResult]:
+        return [task() for task in tasks]

@@ -1,0 +1,49 @@
+"""Thread-pool backend built on :class:`concurrent.futures.ThreadPoolExecutor`.
+
+Threads share the interpreter, so pure-Python map/reduce code is still bound
+by the GIL; the value of this backend is (a) overlapping any I/O or
+GIL-releasing work inside tasks and (b) exercising the concurrency contract
+(shared-nothing tasks, ordered merge) without process start-up or pickling
+cost.  It is also the parity canary: if thread and serial results ever
+diverge, a task is mutating shared state.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from .base import ExecutionBackend, Task, TaskResult, execute_task
+
+__all__ = ["ThreadPoolBackend"]
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Executes tasks on a lazily-created, reusable thread pool."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__(max_workers)
+        self._executor: ThreadPoolExecutor | None = None
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            workers = self.max_workers or min(32, os.cpu_count() or 1)
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="mapreduce"
+            )
+        return self._executor
+
+    def run_tasks(self, tasks: Sequence[Task]) -> list[TaskResult]:
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        # Executor.map preserves submission order, giving the deterministic
+        # merge order the engine relies on.
+        return list(self._ensure_executor().map(execute_task, tasks))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

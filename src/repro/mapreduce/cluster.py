@@ -1,10 +1,11 @@
 """Cluster configuration and job metrics.
 
 The paper's experiments run on an 8-node Hadoop cluster with 6 workers and 24
-reducers.  The simulated engine executes tasks sequentially in-process but keeps
-the same bookkeeping a real cluster would expose: per-task wall-clock time, shuffle
-volume and counters, so that load imbalance and replication cost can be measured
-the way the paper measures them.
+reducers.  The engine keeps the same bookkeeping a real cluster would expose —
+per-task wall-clock time, shuffle volume and counters, so that load imbalance
+and replication cost can be measured the way the paper measures them — and
+executes tasks on a pluggable backend: sequentially in-process by default, or
+on a thread/process pool (see :mod:`repro.mapreduce.backends`).
 """
 
 from __future__ import annotations
@@ -13,7 +14,10 @@ from dataclasses import dataclass, field
 
 from .counters import Counters
 
-__all__ = ["ClusterConfig", "TaskMetrics", "JobMetrics"]
+__all__ = ["BACKEND_NAMES", "ClusterConfig", "TaskMetrics", "JobMetrics"]
+
+BACKEND_NAMES = ("serial", "thread", "process")
+"""Valid ``ClusterConfig.backend`` values (the execution-backend registry keys)."""
 
 
 @dataclass(frozen=True)
@@ -22,14 +26,25 @@ class ClusterConfig:
 
     ``num_reducers`` mirrors the paper's 24 reducers (scaled down by default);
     ``num_mappers`` controls how input splits are formed in the map phase.
+    ``backend`` selects how tasks execute (``serial``, ``thread`` or
+    ``process``) and ``max_workers`` caps the worker pool of the parallel
+    backends (``None`` lets the backend pick, typically the CPU count).
     """
 
     num_reducers: int = 8
     num_mappers: int = 4
+    backend: str = "serial"
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_reducers <= 0 or self.num_mappers <= 0:
             raise ValueError("cluster sizes must be positive")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {sorted(BACKEND_NAMES)}"
+            )
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError("max_workers must be positive")
 
 
 @dataclass

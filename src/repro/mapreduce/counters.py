@@ -3,6 +3,13 @@
 Map-Reduce implementations expose named counters that tasks increment; TKIJ's
 evaluation relies on them to report shuffle volume (records replicated to several
 reducers), the number of candidate results evaluated, and the number pruned.
+
+Counters are the per-task side channel of the execution backends: every map or
+reduce task gets a fresh bag, workers fill it (possibly in another process —
+bags are picklable), and the engine folds the bags back with
+:meth:`Counters.merge` in task order.  Counter addition is commutative, so
+every backend produces identical aggregate counters regardless of the order
+tasks actually finished in.
 """
 
 from __future__ import annotations

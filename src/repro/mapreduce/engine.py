@@ -4,16 +4,22 @@ This is the execution substrate that stands in for Hadoop (see DESIGN.md §2).  
 engine runs a :class:`~repro.mapreduce.job.MapReduceJob` over an in-memory input,
 reproducing the dataflow of a real cluster:
 
-1. the input is split into ``num_mappers`` splits and each split is mapped by a
-   fresh mapper instance (per-task timing recorded);
+1. the input is split into ``num_mappers`` splits and each split becomes one
+   :class:`~repro.mapreduce.backends.MapTask` (fresh mapper instance, per-task
+   timing and counters);
 2. intermediate pairs are shuffled to ``num_reducers`` partitions according to the
    job's partitioner, counting shuffled records and their estimated size;
-3. each partition is reduced by a fresh reducer instance, grouping values by key
-   (per-task timing recorded — the quantity behind the paper's "max time reducer"
-   and imbalance plots).
+3. each partition becomes one :class:`~repro.mapreduce.backends.ReduceTask`
+   grouping values by key (per-task timing recorded — the quantity behind the
+   paper's "max time reducer" and imbalance plots).
 
-Execution is sequential and deterministic; all parallelism-sensitive quantities
-(replication, balance) are measured rather than simulated with random delays.
+Tasks execute on a pluggable :class:`~repro.mapreduce.backends.ExecutionBackend`
+selected through :class:`~repro.mapreduce.cluster.ClusterConfig`: serially (the
+default, fully deterministic), on a thread pool, or on a process pool for real
+CPU parallelism.  Backends return task results in task order and the engine
+merges outputs and counters from that order, so all parallelism-sensitive
+quantities (replication, balance, query results) are identical across backends —
+only wall-clock timings differ.
 """
 
 from __future__ import annotations
@@ -23,7 +29,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from .cluster import ClusterConfig, JobMetrics, TaskMetrics
+from .backends import ExecutionBackend, MapTask, ReduceTask, create_backend
+from .cluster import ClusterConfig, JobMetrics
 from .counters import Counters
 from .job import KeyValue, MapReduceJob
 
@@ -44,10 +51,25 @@ class JobResult:
 
 
 class MapReduceEngine:
-    """Executes Map-Reduce jobs on the simulated cluster."""
+    """Executes Map-Reduce jobs on the simulated cluster.
 
-    def __init__(self, cluster: ClusterConfig | None = None) -> None:
+    The engine keeps one execution backend for its lifetime (so thread/process
+    pools are reused across jobs); ``close()`` — or using the engine as a
+    context manager — releases the backend's workers.  An injected ``backend``
+    may be shared between several engines; the engine only closes a backend it
+    created itself, the caller stays responsible for an injected one.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterConfig | None = None,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
         self.cluster = cluster or ClusterConfig()
+        self._owns_backend = backend is None
+        self.backend = backend or create_backend(
+            self.cluster.backend, self.cluster.max_workers
+        )
         self.history: list[JobMetrics] = []
 
     # ------------------------------------------------------------------ public
@@ -65,25 +87,34 @@ class MapReduceEngine:
         self.history.append(metrics)
         return JobResult(outputs=outputs, metrics=metrics, reducer_outputs=per_reducer)
 
+    def close(self) -> None:
+        """Release the engine's own backend workers (idempotent).
+
+        Injected backends are left running — whoever created them closes them.
+        """
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "MapReduceEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------------- phases
     def _run_map_phase(
         self, job: MapReduceJob, records: Sequence[KeyValue], metrics: JobMetrics
     ) -> list[KeyValue]:
         splits = self._split(records, self.cluster.num_mappers)
+        tasks = [
+            MapTask(job=job, task_id=task_id, split=tuple(split))
+            for task_id, split in enumerate(splits)
+        ]
         intermediate: list[KeyValue] = []
-        for task_id, split in enumerate(splits):
-            mapper = job.mapper_factory()
-            task_counters = Counters()
-            mapper.setup(task_counters)
-            task = TaskMetrics(task_id=task_id, input_records=len(split))
-            task_start = time.perf_counter()
-            for key, value in split:
-                for out_key, out_value in mapper.map(key, value):
-                    intermediate.append((out_key, out_value))
-                    task.output_records += 1
-            task.elapsed_seconds = time.perf_counter() - task_start
-            metrics.map_tasks.append(task)
-            metrics.counters.merge(task_counters)
+        for result in self.backend.run_tasks(tasks):
+            metrics.map_tasks.append(result.metrics)
+            metrics.counters.merge(result.counters)
+            intermediate.extend(result.outputs)
         return intermediate
 
     def _shuffle(
@@ -97,7 +128,8 @@ class MapReduceEngine:
             partitions[reducer_index][key].append(value)
             metrics.shuffle_records += 1
             metrics.shuffle_size += job.record_size(key, value)
-        return partitions
+        # Freeze to plain dicts: smaller pickles for the process backend.
+        return [dict(partition) for partition in partitions]
 
     def _run_reduce_phase(
         self,
@@ -105,29 +137,17 @@ class MapReduceEngine:
         partitions: Sequence[dict[Any, list[Any]]],
         metrics: JobMetrics,
     ) -> tuple[list[KeyValue], list[list[KeyValue]]]:
+        tasks = [
+            ReduceTask(job=job, task_id=task_id, partition=partition)
+            for task_id, partition in enumerate(partitions)
+        ]
         outputs: list[KeyValue] = []
         per_reducer: list[list[KeyValue]] = []
-        for task_id, partition in enumerate(partitions):
-            reducer = job.reducer_factory()
-            task_counters = Counters()
-            reducer.setup(task_counters)
-            task = TaskMetrics(
-                task_id=task_id,
-                input_records=sum(len(values) for values in partition.values()),
-            )
-            reducer_output: list[KeyValue] = []
-            task_start = time.perf_counter()
-            for key in sorted(partition.keys(), key=_sort_key):
-                for out in reducer.reduce(key, partition[key]):
-                    reducer_output.append(out)
-            for out in reducer.cleanup():
-                reducer_output.append(out)
-            task.elapsed_seconds = time.perf_counter() - task_start
-            task.output_records = len(reducer_output)
-            metrics.reduce_tasks.append(task)
-            metrics.counters.merge(task_counters)
-            outputs.extend(reducer_output)
-            per_reducer.append(reducer_output)
+        for result in self.backend.run_tasks(tasks):
+            metrics.reduce_tasks.append(result.metrics)
+            metrics.counters.merge(result.counters)
+            outputs.extend(result.outputs)
+            per_reducer.append(result.outputs)
         return outputs, per_reducer
 
     # ------------------------------------------------------------------ helpers
@@ -138,8 +158,3 @@ class MapReduceEngine:
         for index, record in enumerate(records):
             splits[index % num_splits].append(record)
         return splits
-
-
-def _sort_key(key: Any) -> Any:
-    """Deterministic ordering of heterogeneous keys inside a partition."""
-    return (str(type(key)), repr(key))

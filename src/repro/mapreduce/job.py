@@ -1,11 +1,21 @@
 """Map-Reduce job interfaces.
 
-The simulated engine executes jobs expressed with the classic interface of Dean &
+The engine executes jobs expressed with the classic interface of Dean &
 Ghemawat: a mapper emits ``(key, value)`` pairs for every input record, pairs are
 shuffled to reducers by a partitioner, and each reducer folds the values of every
 key it owns.  Jobs may declare a custom partitioner (TKIJ routes buckets to the
 reducers chosen by DTB rather than by hash) and a record-size estimator used for
 shuffle-volume accounting.
+
+**Picklability contract.**  Map splits and reduce partitions may execute on a
+process pool (``ClusterConfig(backend="process")``), in which case the whole
+job description is pickled into every task.  ``mapper_factory``,
+``reducer_factory``, ``partitioner`` and ``record_size`` must therefore be
+importable module-level objects: classes, functions, or
+:func:`functools.partial` over them.  A lambda or a locally-defined closure
+works on the serial and thread backends but raises a pickling error on the
+process backend — prefer ``functools.partial(MyMapper, arg1, arg2)`` to
+``lambda: MyMapper(arg1, arg2)`` everywhere.
 """
 
 from __future__ import annotations
@@ -16,7 +26,16 @@ from typing import Any, Callable, Iterable, Iterator
 
 from .counters import Counters
 
-__all__ = ["Mapper", "Reducer", "Partitioner", "HashPartitioner", "RoutingPartitioner", "MapReduceJob"]
+__all__ = [
+    "Mapper",
+    "Reducer",
+    "Partitioner",
+    "HashPartitioner",
+    "RoutingPartitioner",
+    "FirstElementPartitioner",
+    "MapReduceJob",
+    "default_record_size",
+]
 
 KeyValue = tuple[Any, Any]
 
@@ -80,6 +99,23 @@ class RoutingPartitioner(Partitioner):
         return _stable_hash(key) % num_reducers
 
 
+class FirstElementPartitioner(Partitioner):
+    """Partitions composite keys by their first element.
+
+    Jobs whose mappers already encode the destination in the key — TKIJ's join
+    phase emits ``(reducer, vertex, bucket)``, the baselines emit
+    ``(partition, ...)`` — route on that element directly: an integer first
+    element is taken modulo the reducer count, anything else falls back to the
+    stable hash.  Stateless, hence trivially picklable for the process backend.
+    """
+
+    def partition(self, key: Any, num_reducers: int) -> int:
+        first = key[0]
+        if isinstance(first, int) and not isinstance(first, bool):
+            return first % num_reducers
+        return _stable_hash(first) % num_reducers
+
+
 def _stable_hash(key: Any) -> int:
     """Deterministic, process-independent hash for keys made of primitives/tuples."""
     if isinstance(key, tuple):
@@ -101,6 +137,15 @@ def _stable_hash(key: Any) -> int:
     return abs(hash(key))
 
 
+def default_record_size(key: Any, value: Any) -> int:
+    """Default shuffle-size estimate: one abstract unit per record.
+
+    A module-level function (not a lambda) so that job descriptions stay
+    picklable for the process backend.
+    """
+    return 1
+
+
 @dataclass
 class MapReduceJob:
     """A complete job description handed to the engine.
@@ -109,6 +154,9 @@ class MapReduceJob:
     shuffled value; the engine multiplies it into the shuffle counters so that the
     I/O comparisons of the paper (Figure 8's shuffle-cost discussion) can be
     reproduced without serialising anything.
+
+    Every callable field must honour the module-level picklability contract
+    (see the module docstring) for the job to run on the process backend.
     """
 
     name: str
@@ -116,7 +164,7 @@ class MapReduceJob:
     reducer_factory: Callable[[], Reducer]
     partitioner: Partitioner | None = None
     num_reducers: int = 1
-    record_size: Callable[[Any, Any], int] = lambda key, value: 1
+    record_size: Callable[[Any, Any], int] = default_record_size
 
     def make_partitioner(self) -> Partitioner:
         return self.partitioner if self.partitioner is not None else HashPartitioner()

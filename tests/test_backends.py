@@ -1,0 +1,185 @@
+"""Parity matrix for the execution backends.
+
+The correctness contract of the backend layer (DESIGN.md §3): serial, thread
+and process backends must return byte-identical job outputs, shuffle counters
+and TKIJ end-to-end results — only timings may differ.  The serial backend is
+the reference; every test here compares the others against it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TKIJ
+from repro.datagen.network import NetworkTraceConfig, generate_network_collection
+from repro.mapreduce import (
+    BACKENDS,
+    ClusterConfig,
+    FirstElementPartitioner,
+    MapReduceEngine,
+    MapReduceJob,
+    Mapper,
+    ProcessPoolBackend,
+    Reducer,
+    SerialBackend,
+    ThreadPoolBackend,
+    create_backend,
+)
+from repro.temporal import IntervalCollection
+from repro.experiments import build_query
+
+BACKEND_NAMES = ("serial", "thread", "process")
+PARALLEL_BACKENDS = ("thread", "process")
+
+
+class TokenCountMapper(Mapper):
+    def map(self, key, value):
+        for word in value.split():
+            self.counters.increment("words_seen")
+            yield word, 1
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+def wordcount_job(num_reducers: int = 4) -> MapReduceJob:
+    return MapReduceJob(
+        name="wordcount",
+        mapper_factory=TokenCountMapper,
+        reducer_factory=SumReducer,
+        num_reducers=num_reducers,
+    )
+
+
+def wordcount_input(num_docs: int = 40):
+    corpus = ["alpha beta gamma", "beta beta delta", "gamma alpha", "epsilon"]
+    return [(i, corpus[i % len(corpus)]) for i in range(num_docs)]
+
+
+def run_wordcount(backend_name: str):
+    cluster = ClusterConfig(
+        num_reducers=4, num_mappers=3, backend=backend_name, max_workers=2
+    )
+    with MapReduceEngine(cluster) as engine:
+        return engine.run(wordcount_job(), wordcount_input())
+
+
+class TestBackendRegistry:
+    def test_known_backends(self):
+        assert set(BACKENDS) == set(BACKEND_NAMES)
+        assert isinstance(create_backend("serial"), SerialBackend)
+        assert isinstance(create_backend("thread", 2), ThreadPoolBackend)
+        assert isinstance(create_backend("process", 2), ProcessPoolBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            create_backend("spark")
+        with pytest.raises(ValueError):
+            ClusterConfig(backend="spark")
+
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(max_workers=0)
+        with pytest.raises(ValueError):
+            create_backend("thread", max_workers=-1)
+
+
+class TestFirstElementPartitioner:
+    def test_integer_first_element_routes_directly(self):
+        partitioner = FirstElementPartitioner()
+        assert partitioner.partition((3, "x", (0, 1)), 8) == 3
+        assert partitioner.partition((11, "y"), 8) == 3
+
+    def test_non_integer_first_element_falls_back_to_hash(self):
+        partitioner = FirstElementPartitioner()
+        index = partitioner.partition(("granule", 4), 8)
+        assert 0 <= index < 8
+        assert partitioner.partition(("granule", 99), 8) == index
+
+    def test_bool_first_element_uses_hash_not_modulo(self):
+        partitioner = FirstElementPartitioner()
+        assert 0 <= partitioner.partition((True, "x"), 8) < 8
+
+
+class TestJobParity:
+    @pytest.mark.parametrize("backend_name", PARALLEL_BACKENDS)
+    def test_wordcount_outputs_and_counters_match_serial(self, backend_name):
+        reference = run_wordcount("serial")
+        candidate = run_wordcount(backend_name)
+        assert candidate.outputs == reference.outputs
+        assert candidate.reducer_outputs == reference.reducer_outputs
+        assert candidate.metrics.shuffle_records == reference.metrics.shuffle_records
+        assert candidate.metrics.shuffle_size == reference.metrics.shuffle_size
+        assert candidate.counters.as_dict() == reference.counters.as_dict()
+
+    @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+    def test_task_metrics_structure(self, backend_name):
+        result = run_wordcount(backend_name)
+        assert [t.task_id for t in result.metrics.map_tasks] == [0, 1, 2]
+        assert [t.task_id for t in result.metrics.reduce_tasks] == [0, 1, 2, 3]
+        assert all(t.elapsed_seconds >= 0 for t in result.metrics.map_tasks)
+
+    @pytest.mark.parametrize("backend_name", PARALLEL_BACKENDS)
+    def test_parallel_backend_is_deterministic_across_runs(self, backend_name):
+        first = run_wordcount(backend_name)
+        second = run_wordcount(backend_name)
+        assert first.outputs == second.outputs
+        assert first.counters.as_dict() == second.counters.as_dict()
+
+    @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+    def test_empty_input(self, backend_name):
+        cluster = ClusterConfig(backend=backend_name, max_workers=2)
+        with MapReduceEngine(cluster) as engine:
+            result = engine.run(wordcount_job(), [])
+        assert result.outputs == []
+
+
+def _tkij_report(query, backend_name: str, num_granules: int = 8):
+    cluster = ClusterConfig(
+        num_reducers=6, num_mappers=3, backend=backend_name, max_workers=2
+    )
+    with TKIJ(num_granules=num_granules, cluster=cluster) as tkij:
+        return tkij.execute(query)
+
+
+def _assert_tkij_parity(query):
+    reference = _tkij_report(query, "serial")
+    for backend_name in PARALLEL_BACKENDS:
+        report = _tkij_report(query, backend_name)
+        assert [(r.uids, r.score) for r in report.results] == [
+            (r.uids, r.score) for r in reference.results
+        ], backend_name
+        assert (
+            report.join_metrics.shuffle_records
+            == reference.join_metrics.shuffle_records
+        ), backend_name
+        assert (
+            report.join_metrics.shuffle_size == reference.join_metrics.shuffle_size
+        ), backend_name
+        assert (
+            report.join_metrics.counters.as_dict()
+            == reference.join_metrics.counters.as_dict()
+        ), backend_name
+        assert report.per_reducer_kth_score == reference.per_reducer_kth_score, backend_name
+
+
+class TestTKIJParity:
+    def test_synthetic_workload(self, tiny_collections):
+        query = build_query("Qs,m", tiny_collections, "P1", k=10)
+        _assert_tkij_parity(query)
+
+    def test_synthetic_sequence_workload(self, tiny_collections):
+        query = build_query("Qb,b", tiny_collections, "P1", k=10)
+        _assert_tkij_parity(query)
+
+    def test_network_workload(self):
+        config = NetworkTraceConfig(num_clients=20, num_servers=5, num_sessions=120)
+        base = generate_network_collection(config, seed=13)
+        collections = [
+            IntervalCollection(f"{base.name}-{i + 1}", list(base.intervals))
+            for i in range(3)
+        ]
+        query = build_query("Qo,o", collections, "P3", k=10)
+        _assert_tkij_parity(query)
