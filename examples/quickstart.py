@@ -1,22 +1,29 @@
-"""Quickstart: evaluate a Ranked Temporal Join query end to end with TKIJ.
+"""Quickstart: evaluate a Ranked Temporal Join query through the algorithm registry.
 
 The example builds two small synthetic interval collections, asks for the top-10
 (x, y) pairs where ``x`` *almost meets* ``y`` (the motivating example of the
-paper's introduction), and prints the results together with the execution report
-TKIJ produces (pruning, shuffle volume, per-phase timings).
+paper's introduction), and evaluates the query through ``repro.plan``:
+
+* the **registry** (`get_algorithm`) dispatches to TKIJ without touching its
+  internals — the same call runs `naive`, `allmatrix` or `rccis`;
+* ``mode="auto"`` lets the cost-based **AutoPlanner** pick granularity,
+  TopBuckets strategy and workload assigner from collected statistics, and the
+  report says why;
+* the shared **ExecutionContext** caches the query-independent statistics phase,
+  so the second query on the same dataset skips it entirely.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import ClusterConfig, PredicateParams, QueryBuilder, TKIJ
+from repro import ClusterConfig, ExecutionContext, PredicateParams, QueryBuilder, get_algorithm
 from repro.datagen import SyntheticConfig, generate_uniform_collection
 
 
 def main() -> None:
     # Two collections of intervals: e.g. traffic requests from two countries.
-    config = SyntheticConfig(size=2_000, start_max=20_000.0)
+    config = SyntheticConfig(size=600, start_max=6_000.0)
     requests_a = generate_uniform_collection("country_A", config, seed=1)
     requests_b = generate_uniform_collection("country_B", config, seed=2)
 
@@ -35,28 +42,24 @@ def main() -> None:
         .build()
     )
 
-    # TKIJ on a simulated 8-reducer cluster, with the paper's default configuration:
-    # loose TopBuckets bounds and DTB workload assignment.
-    tkij = TKIJ(
-        num_granules=20,
-        strategy="loose",
-        assigner="dtb",
-        cluster=ClusterConfig(num_reducers=8),
-    )
-    report = tkij.execute(query)
+    # A simulated 8-reducer cluster plus the reusable statistics cache; every
+    # registered algorithm runs inside this context.
+    with ExecutionContext(cluster=ClusterConfig(num_reducers=8)) as context:
+        tkij = get_algorithm("tkij")
 
-    # The same query on the process-pool backend: map splits and reduce
-    # partitions run in worker processes, results are byte-identical.
-    with TKIJ(
-        num_granules=20,
-        strategy="loose",
-        assigner="dtb",
-        cluster=ClusterConfig(num_reducers=8, backend="process", max_workers=4),
-    ) as parallel_tkij:
-        parallel_report = parallel_tkij.execute(query)
-    assert [(r.uids, r.score) for r in parallel_report.results] == [
-        (r.uids, r.score) for r in report.results
-    ], "backends must agree"
+        # First run: the cost-based planner chooses the configuration.
+        report = tkij.run(query, context, mode="auto")
+
+        # Second run on the same dataset: phase (a) comes from the cache.
+        second = tkij.run(query, context, mode="auto")
+        assert second.statistics_cached, "second query must reuse cached statistics"
+
+        # The naive oracle, through the very same interface.  (Scores are
+        # compared: ties at the k-th score may resolve to different tuples.)
+        oracle = get_algorithm("naive").run(query, context)
+        assert [round(r.score, 9) for r in report.results] == [
+            round(r.score, 9) for r in oracle.results
+        ], "TKIJ must return exactly the naive top-k scores"
 
     print(f"Top-{query.k} pairs where x almost meets y")
     print("-" * 46)
@@ -73,14 +76,20 @@ def main() -> None:
     print("-" * 46)
     for phase, seconds in report.phase_seconds.items():
         print(f"{phase:>14}: {seconds * 1000:8.1f} ms")
-    print(f"{'pruned':>14}: {report.top_buckets.pruned_results_fraction:8.1%} of candidate results")
-    print(f"{'shuffled':>14}: {report.join_metrics.shuffle_records:8d} records")
-    print(f"{'imbalance':>14}: {report.join_metrics.imbalance:8.2f} (max / avg reducer time)")
+    tkij_result = report.raw  # the full TKIJResult, phase by phase
+    print(f"{'pruned':>14}: {tkij_result.top_buckets.pruned_results_fraction:8.1%} of candidate results")
+    print(f"{'shuffled':>14}: {tkij_result.join_metrics.shuffle_records:8d} records")
+    print(f"{'imbalance':>14}: {tkij_result.join_metrics.imbalance:8.2f} (max / avg reducer time)")
+
+    print()
+    print("Plan (chosen by the AutoPlanner from collected statistics)")
+    print("-" * 46)
+    print(report.explanation.summary())
     print()
     print(
-        f"process backend: identical top-{query.k} in "
-        f"{parallel_report.total_seconds * 1000:.1f} ms "
-        f"(serial: {report.total_seconds * 1000:.1f} ms)"
+        f"second query reused cached statistics: phase (a) took "
+        f"{second.phase_seconds['statistics'] * 1000:.2f} ms "
+        f"(first: {report.phase_seconds['statistics'] * 1000:.2f} ms)"
     )
 
 

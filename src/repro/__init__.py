@@ -10,6 +10,15 @@ The public API re-exports the pieces most callers need:
 
 from .core import TKIJ, LocalJoinConfig, TKIJResult
 from .mapreduce import ClusterConfig
+from .plan import (
+    REGISTRY,
+    AutoPlanner,
+    ExecutionContext,
+    PlanExplanation,
+    RunReport,
+    StatisticsCache,
+    get_algorithm,
+)
 from .query import QueryBuilder, RTJQuery
 from .temporal import (
     AverageScore,
@@ -26,6 +35,13 @@ __all__ = [
     "TKIJResult",
     "LocalJoinConfig",
     "ClusterConfig",
+    "REGISTRY",
+    "AutoPlanner",
+    "ExecutionContext",
+    "PlanExplanation",
+    "RunReport",
+    "StatisticsCache",
+    "get_algorithm",
     "QueryBuilder",
     "RTJQuery",
     "AverageScore",

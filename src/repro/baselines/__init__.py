@@ -1,7 +1,7 @@
 """Baselines: naive exact evaluation, All-Matrix and RCCIS Boolean interval joins."""
 
 from .allmatrix import AllMatrixConfig, AllMatrixJoin
-from .common import BaselineResult
+from .common import BaselineResult, boolean_query, compile_boolean_checker, top_k_matches
 from .naive import all_pair_scores, naive_boolean_matches, naive_top_k
 from .rccis import RCCISConfig, RCCISJoin
 
@@ -9,6 +9,9 @@ __all__ = [
     "AllMatrixConfig",
     "AllMatrixJoin",
     "BaselineResult",
+    "boolean_query",
+    "compile_boolean_checker",
+    "top_k_matches",
     "all_pair_scores",
     "naive_boolean_matches",
     "naive_top_k",

@@ -31,12 +31,11 @@ from ..mapreduce import (
     Mapper,
     Reducer,
 )
-from ..mapreduce.cluster import JobMetrics
 from ..query.graph import ResultTuple, RTJQuery
 from ..solver.domain import DomainSet, VariableBox
 from ..solver.objective import EdgeObjective
 from ..temporal.comparators import PredicateParams
-from .common import BaselineResult, compile_boolean_checker
+from .common import BaselineResult, boolean_query, compile_boolean_checker, top_k_matches
 
 __all__ = ["AllMatrixConfig", "AllMatrixJoin"]
 
@@ -130,13 +129,13 @@ class AllMatrixJoin:
     def execute(self, query: RTJQuery) -> BaselineResult:
         """Evaluate the Boolean interpretation of ``query`` and return up to ``k`` matches."""
         started = time.perf_counter()
-        boolean_query = self._boolean_query(query)
+        bool_query = boolean_query(query, self.config.boolean_params)
 
-        partitions = self._build_partitions(boolean_query)
-        reducer_tuples = self._feasible_reducer_tuples(boolean_query, partitions)
+        partitions = self._build_partitions(bool_query)
+        reducer_tuples = self._feasible_reducer_tuples(bool_query, partitions)
         reducer_lists: dict[tuple[str, int], list[int]] = {}
         for reducer_id, parts in enumerate(reducer_tuples):
-            for vertex, part in zip(boolean_query.vertices, parts):
+            for vertex, part in zip(bool_query.vertices, parts):
                 reducer_lists.setdefault((vertex, part), []).append(reducer_id)
         reducers_by_vertex_partition = {
             item: tuple(reducers) for item, reducers in reducer_lists.items()
@@ -144,19 +143,18 @@ class AllMatrixJoin:
 
         input_pairs = [
             (vertex, interval)
-            for vertex in boolean_query.vertices
-            for interval in boolean_query.collections[vertex]
+            for vertex in bool_query.vertices
+            for interval in bool_query.collections[vertex]
         ]
         job = MapReduceJob(
             name="allmatrix-join",
             mapper_factory=partial(_AllMatrixMapper, partitions, reducers_by_vertex_partition),
-            reducer_factory=partial(_AllMatrixReducer, boolean_query, boolean_query.k),
+            reducer_factory=partial(_AllMatrixReducer, bool_query, bool_query.k),
             partitioner=FirstElementPartitioner(),
             num_reducers=max(1, len(reducer_tuples)),
         )
         job_result = self.engine.run(job, input_pairs)
-        matches = [value for key, value in job_result.outputs if key == "match"]
-        ordered = sorted(matches, key=lambda r: r.sort_key())[: boolean_query.k]
+        ordered = top_k_matches(job_result.outputs, bool_query.k)
         elapsed = time.perf_counter() - started
         return BaselineResult(
             name="All-Matrix",
@@ -166,23 +164,6 @@ class AllMatrixJoin:
         )
 
     # ----------------------------------------------------------------- internal
-    def _boolean_query(self, query: RTJQuery) -> RTJQuery:
-        """The query with every predicate forced to Boolean scoring parameters."""
-        from ..query.graph import QueryEdge
-
-        edges = tuple(
-            QueryEdge(e.source, e.target, e.predicate.with_params(self.config.boolean_params), e.attributes)
-            for e in query.edges
-        )
-        return RTJQuery(
-            vertices=query.vertices,
-            collections=query.collections,
-            edges=edges,
-            k=query.k,
-            aggregation=query.aggregation,
-            name=f"{query.name}-boolean",
-        )
-
     def _build_partitions(self, query: RTJQuery) -> dict[str, list[tuple[float, float]]]:
         """Uniform start-time partitions per vertex collection."""
         partitions: dict[str, list[tuple[float, float]]] = {}

@@ -1,15 +1,50 @@
-"""Shared helpers for the Boolean-join baselines."""
+"""Shared helpers for the Boolean-join baselines.
+
+Everything the two Chawda-et-al. baselines (All-Matrix, RCCIS) have in common
+lives here: the Boolean reinterpretation of a scored query, the compiled
+conjunction check their reducers run, the heap-based top-k merge of their match
+outputs, and the result/metrics container the experiment reports consume.
+"""
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..mapreduce.cluster import JobMetrics
-from ..query.graph import ResultTuple, RTJQuery
+from ..query.graph import QueryEdge, ResultTuple, RTJQuery
+from ..temporal.comparators import PredicateParams
 from ..temporal.interval import Interval
 
-__all__ = ["BaselineResult", "compile_boolean_checker"]
+__all__ = [
+    "BaselineResult",
+    "boolean_query",
+    "compile_boolean_checker",
+    "top_k_matches",
+]
+
+
+def boolean_query(query: RTJQuery, params: PredicateParams | None = None) -> RTJQuery:
+    """The query with every predicate forced to Boolean scoring parameters.
+
+    The Boolean baselines evaluate the *Boolean* interpretation of the query
+    (Section 4.2.5): scores collapse to 0/1, so every edge predicate is rebuilt
+    with ``params`` (default ``PB``, all-zero tolerances).
+    """
+    params = params if params is not None else PredicateParams.boolean()
+    edges = tuple(
+        QueryEdge(e.source, e.target, e.predicate.with_params(params), e.attributes)
+        for e in query.edges
+    )
+    return RTJQuery(
+        vertices=query.vertices,
+        collections=query.collections,
+        edges=edges,
+        k=query.k,
+        aggregation=query.aggregation,
+        name=f"{query.name}-boolean",
+    )
 
 
 def compile_boolean_checker(query: RTJQuery) -> Callable[[Sequence[Interval]], bool]:
@@ -39,6 +74,19 @@ def compile_boolean_checker(query: RTJQuery) -> Callable[[Sequence[Interval]], b
     return check
 
 
+def top_k_matches(
+    outputs: Iterable[tuple[object, ResultTuple]], k: int, key: str = "match"
+) -> list[ResultTuple]:
+    """The k best ``(key, ResultTuple)`` job outputs, heap-merged and ordered.
+
+    Baseline join jobs emit their matches under a common output key; this keeps
+    the top ``k`` by the deterministic ``ResultTuple.sort_key()`` ordering
+    (descending score, interval-id tie-break) without sorting the full list.
+    """
+    matches = (value for out_key, value in outputs if out_key == key)
+    return heapq.nsmallest(k, matches, key=lambda result: result.sort_key())
+
+
 @dataclass
 class BaselineResult:
     """Results and per-phase metrics of one baseline execution."""
@@ -52,6 +100,10 @@ class BaselineResult:
     def shuffle_records(self) -> int:
         """Total records shuffled across all Map-Reduce phases."""
         return sum(metrics.shuffle_records for metrics in self.phase_metrics)
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Per-phase wall-clock times keyed by job name (for RunReport plumbing)."""
+        return {metrics.job_name: metrics.elapsed_seconds for metrics in self.phase_metrics}
 
     def describe(self) -> dict[str, float]:
         """Flat summary used by the experiment reports."""

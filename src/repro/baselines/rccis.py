@@ -34,7 +34,7 @@ from ..mapreduce import (
 )
 from ..query.graph import ResultTuple, RTJQuery
 from ..temporal.comparators import PredicateParams
-from .common import BaselineResult, compile_boolean_checker
+from .common import BaselineResult, boolean_query, compile_boolean_checker, top_k_matches
 
 __all__ = ["RCCISConfig", "RCCISJoin"]
 
@@ -162,21 +162,21 @@ class RCCISJoin:
     def execute(self, query: RTJQuery) -> BaselineResult:
         """Evaluate the Boolean interpretation of ``query`` and return up to ``k`` matches."""
         started = time.perf_counter()
-        boolean_query = self._boolean_query(query)
+        bool_query = boolean_query(query, self.config.boolean_params)
 
         low = min(
-            boolean_query.collections[v].time_range()[0] for v in boolean_query.vertices
+            bool_query.collections[v].time_range()[0] for v in bool_query.vertices
         )
         high = max(
-            boolean_query.collections[v].time_range()[1] for v in boolean_query.vertices
+            bool_query.collections[v].time_range()[1] for v in bool_query.vertices
         )
         width = (high - low) / self.config.num_granules or 1.0
         granule_of = _GranuleMap(low, high, width, self.config.num_granules)
 
         input_pairs = [
             (vertex, interval)
-            for vertex in boolean_query.vertices
-            for interval in boolean_query.collections[vertex]
+            for vertex in bool_query.vertices
+            for interval in bool_query.collections[vertex]
         ]
 
         # Phase 1: replication planning.
@@ -192,35 +192,17 @@ class RCCISJoin:
         join_job = MapReduceJob(
             name="rccis-join",
             mapper_factory=_JoinMapper,
-            reducer_factory=partial(_JoinReducer, boolean_query, boolean_query.k, granule_of),
+            reducer_factory=partial(_JoinReducer, bool_query, bool_query.k, granule_of),
             partitioner=FirstElementPartitioner(),
             num_reducers=self.config.num_granules,
         )
         join_result = self.engine.run(join_job, planning_result.outputs)
 
-        matches = [value for key, value in join_result.outputs if key == "match"]
-        ordered = sorted(matches, key=lambda r: r.sort_key())[: boolean_query.k]
+        ordered = top_k_matches(join_result.outputs, bool_query.k)
         elapsed = time.perf_counter() - started
         return BaselineResult(
             name="RCCIS",
             results=ordered,
             phase_metrics=[planning_result.metrics, join_result.metrics],
             elapsed_seconds=elapsed,
-        )
-
-    # ----------------------------------------------------------------- internal
-    def _boolean_query(self, query: RTJQuery) -> RTJQuery:
-        from ..query.graph import QueryEdge
-
-        edges = tuple(
-            QueryEdge(e.source, e.target, e.predicate.with_params(self.config.boolean_params), e.attributes)
-            for e in query.edges
-        )
-        return RTJQuery(
-            vertices=query.vertices,
-            collections=query.collections,
-            edges=edges,
-            k=query.k,
-            aggregation=query.aggregation,
-            name=f"{query.name}-boolean",
         )

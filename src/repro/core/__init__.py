@@ -11,6 +11,17 @@ from .distribution import (
 )
 from .local_join import LocalJoinConfig, LocalJoinStats, LocalTopKJoin
 from .merge import merge_top_k, run_merge_job
+from .operators import (
+    DistributeOp,
+    JoinOp,
+    MergeOp,
+    PhaseOperator,
+    PhaseState,
+    StatisticsOp,
+    TopBucketsOp,
+    collections_by_name,
+    run_pipeline,
+)
 from .statistics import (
     BucketKey,
     BucketMatrix,
@@ -44,6 +55,15 @@ __all__ = [
     "LocalTopKJoin",
     "merge_top_k",
     "run_merge_job",
+    "DistributeOp",
+    "JoinOp",
+    "MergeOp",
+    "PhaseOperator",
+    "PhaseState",
+    "StatisticsOp",
+    "TopBucketsOp",
+    "collections_by_name",
+    "run_pipeline",
     "BucketKey",
     "BucketMatrix",
     "DatasetStatistics",

@@ -15,7 +15,7 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
-from ..query.graph import QueryEdge, RTJQuery
+from ..query.graph import RTJQuery
 from ..solver import AggregateObjective, BranchAndBoundSolver, DomainSet, EdgeObjective
 from ..solver.domain import VariableBox
 from .statistics import BucketKey, DatasetStatistics

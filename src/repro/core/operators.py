@@ -1,0 +1,307 @@
+"""Composable phase operators of the TKIJ pipeline.
+
+Each phase of Figure 5 — statistics (a), TopBuckets (b), DistributeTopBuckets
+(c), the distributed join (d) and the merge (e) — is one :class:`PhaseOperator`
+that reads and writes a shared :class:`PhaseState` blackboard.  The
+:class:`~repro.core.tkij.TKIJ` facade composes the five operators into the
+standard pipeline, but callers (alternative planners, partial re-runs, future
+adaptive strategies) can assemble their own operator sequences:
+``run_pipeline`` times every operator into ``state.phase_seconds`` under the
+operator's phase name, so any composition produces the same execution report.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Iterator, Mapping, Sequence
+
+from ..mapreduce import (
+    FirstElementPartitioner,
+    MapReduceEngine,
+    MapReduceJob,
+    Mapper,
+    Reducer,
+)
+from ..mapreduce.cluster import JobMetrics
+from ..query.graph import ResultTuple, RTJQuery
+from ..solver import BranchAndBoundSolver
+from ..temporal.interval import Interval, IntervalCollection
+from .bounds import CombinationSpace
+from .distribution import WorkloadAssignment, assign
+from .local_join import LocalJoinConfig, LocalJoinStats, LocalTopKJoin
+from .merge import run_merge_job
+from .statistics import (
+    BucketKey,
+    DatasetStatistics,
+    collect_statistics,
+    collect_statistics_mapreduce,
+)
+from .top_buckets import TopBucketsResult, TopBucketsSelector
+
+__all__ = [
+    "PhaseState",
+    "PhaseOperator",
+    "StatisticsOp",
+    "TopBucketsOp",
+    "DistributeOp",
+    "JoinOp",
+    "MergeOp",
+    "run_pipeline",
+    "collections_by_name",
+]
+
+
+def collections_by_name(query: RTJQuery) -> dict[str, IntervalCollection]:
+    """Distinct collections referenced by the query, keyed by collection name."""
+    collections: dict[str, IntervalCollection] = {}
+    for vertex in query.vertices:
+        collection = query.collections[vertex]
+        collections[collection.name] = collection
+    return collections
+
+
+@dataclass
+class PhaseState:
+    """Mutable blackboard threaded through the phase operators of one query.
+
+    Every operator consumes fields produced by its predecessors and fills in its
+    own; after the full pipeline the state holds everything a
+    :class:`~repro.core.tkij.TKIJResult` reports.
+    """
+
+    query: RTJQuery
+    engine: MapReduceEngine
+    num_reducers: int
+    statistics: DatasetStatistics | None = None
+    top_buckets: TopBucketsResult | None = None
+    assignment: WorkloadAssignment | None = None
+    local_results: dict[int, list[ResultTuple]] = field(default_factory=dict)
+    join_metrics: JobMetrics | None = None
+    merge_metrics: JobMetrics | None = None
+    local_join_stats: LocalJoinStats = field(default_factory=LocalJoinStats)
+    results: list[ResultTuple] = field(default_factory=list)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def per_reducer_kth_score(self) -> dict[int, float | None]:
+        """Score of each reducer's local k-th result (``None`` for empty reducers)."""
+        return {
+            reducer: (results[-1].score if results else None)
+            for reducer, results in self.local_results.items()
+        }
+
+
+class PhaseOperator(ABC):
+    """One phase of the pipeline; mutates the shared :class:`PhaseState`.
+
+    ``name`` is the phase key under which ``run_pipeline`` records the
+    operator's wall-clock time (and therefore the key reported in
+    ``TKIJResult.phase_seconds``).
+    """
+
+    name: str = "operator"
+
+    @abstractmethod
+    def run(self, state: PhaseState) -> None:
+        """Execute this phase, reading and writing ``state``."""
+
+
+def run_pipeline(operators: Sequence[PhaseOperator], state: PhaseState) -> PhaseState:
+    """Run operators in order, timing each into ``state.phase_seconds``."""
+    for operator in operators:
+        started = time.perf_counter()
+        operator.run(state)
+        state.phase_seconds[operator.name] = time.perf_counter() - started
+    return state
+
+
+# ---------------------------------------------------------------- phase (a)
+@dataclass
+class StatisticsOp(PhaseOperator):
+    """Phase (a): bucket matrices for every collection (query-independent).
+
+    ``precollected`` short-circuits the phase with statistics obtained earlier
+    (e.g. from a :class:`~repro.plan.StatisticsCache`), which is how the
+    query-independent work is amortised across queries.
+    """
+
+    num_granules: int = 20
+    on_mapreduce: bool = False
+    precollected: DatasetStatistics | None = None
+
+    name = "statistics"
+
+    def run(self, state: PhaseState) -> None:
+        if self.precollected is not None:
+            state.statistics = self.precollected
+            return
+        collections = collections_by_name(state.query)
+        if self.on_mapreduce:
+            state.statistics = collect_statistics_mapreduce(
+                collections, self.num_granules, state.engine
+            )
+        else:
+            state.statistics = collect_statistics(collections, self.num_granules)
+
+
+# ---------------------------------------------------------------- phase (b)
+@dataclass
+class TopBucketsOp(PhaseOperator):
+    """Phase (b): score bounds for bucket combinations and pruning to ``Ω_k,S``."""
+
+    strategy: str = "loose"
+    solver: BranchAndBoundSolver = field(default_factory=BranchAndBoundSolver)
+
+    name = "top_buckets"
+
+    def run(self, state: PhaseState) -> None:
+        assert state.statistics is not None, "StatisticsOp must run before TopBucketsOp"
+        space = CombinationSpace(state.query, state.statistics)
+        selector = TopBucketsSelector(strategy=self.strategy, solver=self.solver)
+        state.top_buckets = selector.run(state.query, state.statistics, space)
+
+
+# ---------------------------------------------------------------- phase (c)
+@dataclass
+class DistributeOp(PhaseOperator):
+    """Phase (c): assignment of combinations (and hence buckets) to reducers."""
+
+    assigner: str = "dtb"
+
+    name = "distribution"
+
+    def run(self, state: PhaseState) -> None:
+        assert state.top_buckets is not None, "TopBucketsOp must run before DistributeOp"
+        state.assignment = assign(
+            self.assigner, state.top_buckets.selected, state.num_reducers
+        )
+
+
+# ---------------------------------------------------------------- phase (d)
+class _JoinMapper(Mapper):
+    """Routes each interval to every reducer that was assigned its bucket."""
+
+    def __init__(
+        self,
+        bucket_of: Mapping[str, Mapping[int, BucketKey]],
+        routing: Mapping[tuple[str, BucketKey], tuple[int, ...]],
+    ) -> None:
+        self._bucket_of = bucket_of
+        self._routing = routing
+
+    def map(self, key, value):
+        vertex, interval = key, value
+        bucket = self._bucket_of[vertex].get(interval.uid)
+        if bucket is None:
+            return
+        reducers = self._routing.get((vertex, bucket), ())
+        for reducer in reducers:
+            self.counters.increment("join.intervals_shuffled")
+            yield (reducer, vertex, bucket), interval
+
+
+class _JoinReducer(Reducer):
+    """Collects its buckets, then runs the local top-k join in ``cleanup``."""
+
+    def __init__(
+        self, query: RTJQuery, assignment: WorkloadAssignment, config: LocalJoinConfig
+    ) -> None:
+        self._query = query
+        self._assignment = assignment
+        self._config = config
+        self._reducer_id: int | None = None
+        self._intervals: dict[tuple[str, BucketKey], list[Interval]] = {}
+
+    def reduce(self, key, values):
+        reducer_id, vertex, bucket = key
+        self._reducer_id = reducer_id
+        self._intervals[(vertex, bucket)] = list(values)
+        return iter(())
+
+    def cleanup(self) -> Iterator:
+        if self._reducer_id is None:
+            return
+        combinations = self._assignment.combinations_per_reducer.get(self._reducer_id, [])
+        if not combinations:
+            return
+        join = LocalTopKJoin(self._query, self._config)
+        results, stats = join.run(combinations, self._intervals, k=self._query.k)
+        self.counters.increment("join.tuples_scored", stats.tuples_scored)
+        self.counters.increment("join.candidates_examined", stats.candidates_examined)
+        self.counters.increment("join.combinations_processed", stats.combinations_processed)
+        self.counters.increment("join.combinations_skipped", stats.combinations_skipped)
+        yield "local_top_k", (self._reducer_id, results, stats)
+
+
+@dataclass
+class JoinOp(PhaseOperator):
+    """Phase (d): mappers route intervals to their assigned reducers, reducers
+    run the RTJ query locally and emit their top-k."""
+
+    join_config: LocalJoinConfig = field(default_factory=LocalJoinConfig)
+
+    name = "join"
+
+    def run(self, state: PhaseState) -> None:
+        assert state.statistics is not None and state.assignment is not None, (
+            "StatisticsOp and DistributeOp must run before JoinOp"
+        )
+        query, statistics, assignment = state.query, state.statistics, state.assignment
+
+        bucket_of: dict[str, dict[int, BucketKey]] = {}
+        input_pairs = []
+        for vertex in query.vertices:
+            collection = query.collections[vertex]
+            matrix = statistics.matrix(collection.name)
+            per_interval: dict[int, BucketKey] = {}
+            for interval in collection:
+                per_interval[interval.uid] = matrix.granularity.bucket_of(interval)
+                input_pairs.append((vertex, interval))
+            bucket_of[vertex] = per_interval
+
+        reducers_of: dict[tuple[str, BucketKey], list[int]] = {}
+        for reducer, buckets in assignment.buckets_per_reducer.items():
+            for item in buckets:
+                reducers_of.setdefault(item, []).append(reducer)
+        routing: dict[tuple[str, BucketKey], tuple[int, ...]] = {
+            item: tuple(reducers) for item, reducers in reducers_of.items()
+        }
+
+        job = MapReduceJob(
+            name="tkij-join",
+            mapper_factory=partial(_JoinMapper, bucket_of, routing),
+            reducer_factory=partial(_JoinReducer, query, assignment, self.join_config),
+            partitioner=FirstElementPartitioner(),
+            num_reducers=state.num_reducers,
+        )
+        job_result = state.engine.run(job, input_pairs)
+
+        local_results: dict[int, list[ResultTuple]] = {}
+        merged_stats = LocalJoinStats()
+        for key, value in job_result.outputs:
+            if key != "local_top_k":
+                continue
+            reducer_id, results, stats = value
+            local_results[reducer_id] = results
+            merged_stats.merge(stats)
+        state.local_results = local_results
+        state.join_metrics = job_result.metrics
+        state.local_join_stats = merged_stats
+
+
+# ---------------------------------------------------------------- phase (e)
+@dataclass
+class MergeOp(PhaseOperator):
+    """Phase (e): a final Map-Reduce job merging the local lists into the top-k."""
+
+    name = "merge"
+
+    def run(self, state: PhaseState) -> None:
+        ordered_locals = [
+            state.local_results.get(reducer, []) for reducer in range(state.num_reducers)
+        ]
+        results, merge_job = run_merge_job(state.engine, ordered_locals, state.query.k)
+        state.results = results
+        state.merge_metrics = merge_job.metrics

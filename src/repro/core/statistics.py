@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from ..mapreduce import ClusterConfig, MapReduceEngine, MapReduceJob, Mapper, Reducer
 from ..mapreduce.cluster import JobMetrics

@@ -1,6 +1,7 @@
 """The TKIJ query evaluator (the paper's contribution, end to end).
 
-``TKIJ`` wires the phases together exactly as Figure 5 describes:
+``TKIJ`` composes the phase operators of :mod:`repro.core.operators` exactly as
+Figure 5 describes:
 
 (a) statistics collection over the input collections (offline, reusable);
 (b) TopBuckets: score bounds for bucket combinations and pruning to ``Ω_k,S``;
@@ -17,35 +18,33 @@ paper's figures report.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from functools import partial
-from typing import Iterator, Mapping
+from typing import Mapping
 
-from ..mapreduce import (
-    ClusterConfig,
-    ExecutionBackend,
-    FirstElementPartitioner,
-    MapReduceEngine,
-    MapReduceJob,
-    Mapper,
-    Reducer,
-)
+from ..mapreduce import ClusterConfig, ExecutionBackend, MapReduceEngine
 from ..mapreduce.cluster import JobMetrics
 from ..query.graph import ResultTuple, RTJQuery
 from ..solver import BranchAndBoundSolver
-from ..temporal.interval import Interval, IntervalCollection
-from .bounds import CombinationSpace
-from .distribution import ASSIGNERS, WorkloadAssignment, assign
-from .local_join import LocalJoinConfig, LocalJoinStats, LocalTopKJoin
-from .merge import merge_top_k, run_merge_job
+from ..temporal.interval import IntervalCollection
+from .distribution import ASSIGNERS, WorkloadAssignment
+from .local_join import LocalJoinConfig, LocalJoinStats
+from .operators import (
+    DistributeOp,
+    JoinOp,
+    MergeOp,
+    PhaseOperator,
+    PhaseState,
+    StatisticsOp,
+    TopBucketsOp,
+    collections_by_name,
+    run_pipeline,
+)
 from .statistics import (
-    BucketKey,
     DatasetStatistics,
     collect_statistics,
     collect_statistics_mapreduce,
 )
-from .top_buckets import STRATEGIES, TopBucketsResult, TopBucketsSelector
+from .top_buckets import STRATEGIES, TopBucketsResult
 
 __all__ = ["TKIJ", "TKIJResult"]
 
@@ -62,6 +61,9 @@ class TKIJResult:
     merge_metrics: JobMetrics
     local_join_stats: LocalJoinStats
     per_reducer_kth_score: dict[int, float] = field(default_factory=dict)
+    plan_explanation: object | None = None
+    """A :class:`repro.plan.PlanExplanation` when the configuration was chosen by
+    the cost-based planner (``None`` for manually-configured runs)."""
 
     @property
     def total_seconds(self) -> float:
@@ -88,60 +90,12 @@ class TKIJResult:
         summary["tuples_scored"] = float(self.local_join_stats.tuples_scored)
         summary["candidates_examined"] = float(self.local_join_stats.candidates_examined)
         summary["combinations_processed"] = float(self.local_join_stats.combinations_processed)
+        explanation = self.plan_explanation
+        if explanation is not None and hasattr(explanation, "describe"):
+            summary.update(
+                {f"plan_{key}": value for key, value in explanation.describe().items()}
+            )
         return summary
-
-
-class _JoinMapper(Mapper):
-    """Routes each interval to every reducer that was assigned its bucket."""
-
-    def __init__(
-        self,
-        bucket_of: Mapping[str, Mapping[int, BucketKey]],
-        routing: Mapping[tuple[str, BucketKey], tuple[int, ...]],
-    ) -> None:
-        self._bucket_of = bucket_of
-        self._routing = routing
-
-    def map(self, key, value):
-        vertex, interval = key, value
-        bucket = self._bucket_of[vertex].get(interval.uid)
-        if bucket is None:
-            return
-        reducers = self._routing.get((vertex, bucket), ())
-        for reducer in reducers:
-            self.counters.increment("join.intervals_shuffled")
-            yield (reducer, vertex, bucket), interval
-
-
-class _JoinReducer(Reducer):
-    """Collects its buckets, then runs the local top-k join in ``cleanup``."""
-
-    def __init__(self, query: RTJQuery, assignment: WorkloadAssignment, config: LocalJoinConfig) -> None:
-        self._query = query
-        self._assignment = assignment
-        self._config = config
-        self._reducer_id: int | None = None
-        self._intervals: dict[tuple[str, BucketKey], list[Interval]] = {}
-
-    def reduce(self, key, values):
-        reducer_id, vertex, bucket = key
-        self._reducer_id = reducer_id
-        self._intervals[(vertex, bucket)] = list(values)
-        return iter(())
-
-    def cleanup(self) -> Iterator:
-        if self._reducer_id is None:
-            return
-        combinations = self._assignment.combinations_per_reducer.get(self._reducer_id, [])
-        if not combinations:
-            return
-        join = LocalTopKJoin(self._query, self._config)
-        results, stats = join.run(combinations, self._intervals, k=self._query.k)
-        self.counters.increment("join.tuples_scored", stats.tuples_scored)
-        self.counters.increment("join.candidates_examined", stats.candidates_examined)
-        self.counters.increment("join.combinations_processed", stats.combinations_processed)
-        self.counters.increment("join.combinations_skipped", stats.combinations_skipped)
-        yield "local_top_k", (self._reducer_id, results, stats)
 
 
 @dataclass
@@ -192,107 +146,43 @@ class TKIJ:
             return collect_statistics_mapreduce(collections, self.num_granules, self.engine)
         return collect_statistics(collections, self.num_granules)
 
+    def operators(
+        self, statistics: DatasetStatistics | None = None
+    ) -> list[PhaseOperator]:
+        """The standard five-operator pipeline for this evaluator's configuration.
+
+        ``statistics`` short-circuits phase (a) with precollected (e.g. cached)
+        statistics.  Callers may rearrange, replace or extend the returned list
+        before handing it to :func:`repro.core.operators.run_pipeline`.
+        """
+        return [
+            StatisticsOp(self.num_granules, self.statistics_on_mapreduce, statistics),
+            TopBucketsOp(self.strategy, self.solver),
+            DistributeOp(self.assigner),
+            JoinOp(self.join_config),
+            MergeOp(),
+        ]
+
     def execute(
         self, query: RTJQuery, statistics: DatasetStatistics | None = None
     ) -> TKIJResult:
         """Evaluate ``query`` end to end and return results plus the execution report."""
-        phase_seconds: dict[str, float] = {}
-
-        started = time.perf_counter()
-        if statistics is None:
-            statistics = self.collect_statistics(self._collections_by_name(query))
-        phase_seconds["statistics"] = time.perf_counter() - started
-
-        # Phase (b): TopBuckets.
-        started = time.perf_counter()
-        space = CombinationSpace(query, statistics)
-        selector = TopBucketsSelector(strategy=self.strategy, solver=self.solver)
-        top_buckets = selector.run(query, statistics, space)
-        phase_seconds["top_buckets"] = time.perf_counter() - started
-
-        # Phase (c): workload assignment.
-        started = time.perf_counter()
-        assignment = assign(self.assigner, top_buckets.selected, self.cluster.num_reducers)
-        phase_seconds["distribution"] = time.perf_counter() - started
-
-        # Phase (d): distributed join.
-        started = time.perf_counter()
-        local_results, join_metrics, local_stats = self._run_join_job(
-            query, statistics, assignment
+        state = PhaseState(
+            query=query, engine=self.engine, num_reducers=self.cluster.num_reducers
         )
-        phase_seconds["join"] = time.perf_counter() - started
-
-        # Phase (e): merge.
-        started = time.perf_counter()
-        ordered_locals = [local_results.get(r, []) for r in range(self.cluster.num_reducers)]
-        results, merge_job = run_merge_job(self.engine, ordered_locals, query.k)
-        phase_seconds["merge"] = time.perf_counter() - started
-
-        per_reducer_kth = {
-            reducer: (results_list[-1].score if results_list else None)
-            for reducer, results_list in local_results.items()
-        }
+        run_pipeline(self.operators(statistics), state)
         return TKIJResult(
-            results=results,
-            phase_seconds=phase_seconds,
-            top_buckets=top_buckets,
-            assignment=assignment,
-            join_metrics=join_metrics,
-            merge_metrics=merge_job.metrics,
-            local_join_stats=local_stats,
-            per_reducer_kth_score=per_reducer_kth,
+            results=state.results,
+            phase_seconds=state.phase_seconds,
+            top_buckets=state.top_buckets,
+            assignment=state.assignment,
+            join_metrics=state.join_metrics,
+            merge_metrics=state.merge_metrics,
+            local_join_stats=state.local_join_stats,
+            per_reducer_kth_score=state.per_reducer_kth_score(),
         )
-
-    # ----------------------------------------------------------------- internal
-    def _run_join_job(
-        self,
-        query: RTJQuery,
-        statistics: DatasetStatistics,
-        assignment: WorkloadAssignment,
-    ) -> tuple[dict[int, list[ResultTuple]], JobMetrics, LocalJoinStats]:
-        bucket_of: dict[str, dict[int, BucketKey]] = {}
-        input_pairs = []
-        for vertex in query.vertices:
-            collection = query.collections[vertex]
-            matrix = statistics.matrix(collection.name)
-            per_interval: dict[int, BucketKey] = {}
-            for interval in collection:
-                per_interval[interval.uid] = matrix.granularity.bucket_of(interval)
-                input_pairs.append((vertex, interval))
-            bucket_of[vertex] = per_interval
-
-        reducers_of: dict[tuple[str, BucketKey], list[int]] = {}
-        for reducer, buckets in assignment.buckets_per_reducer.items():
-            for item in buckets:
-                reducers_of.setdefault(item, []).append(reducer)
-        routing: dict[tuple[str, BucketKey], tuple[int, ...]] = {
-            item: tuple(reducers) for item, reducers in reducers_of.items()
-        }
-
-        job = MapReduceJob(
-            name="tkij-join",
-            mapper_factory=partial(_JoinMapper, bucket_of, routing),
-            reducer_factory=partial(_JoinReducer, query, assignment, self.join_config),
-            partitioner=FirstElementPartitioner(),
-            num_reducers=self.cluster.num_reducers,
-        )
-        job_result = self.engine.run(job, input_pairs)
-
-        local_results: dict[int, list[ResultTuple]] = {}
-        merged_stats = LocalJoinStats()
-        for key, value in job_result.outputs:
-            if key != "local_top_k":
-                continue
-            reducer_id, results, stats = value
-            local_results[reducer_id] = results
-            merged_stats.merge(stats)
-        return local_results, job_result.metrics, merged_stats
 
     @staticmethod
     def _collections_by_name(query: RTJQuery) -> dict[str, IntervalCollection]:
         """Distinct collections referenced by the query, keyed by collection name."""
-        collections: dict[str, IntervalCollection] = {}
-        for vertex in query.vertices:
-            collection = query.collections[vertex]
-            collections[collection.name] = collection
-        return collections
+        return collections_by_name(query)

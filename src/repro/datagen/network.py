@@ -18,7 +18,7 @@ lengths with a mean of a few tens of seconds and a very long tail).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

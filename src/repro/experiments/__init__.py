@@ -1,6 +1,12 @@
 """Experiment catalogue and per-figure drivers reproducing the paper's evaluation."""
 
-from .harness import ResultTable, TKIJRunConfig, run_tkij
+from .harness import (
+    ResultTable,
+    TKIJRunConfig,
+    run_algorithm,
+    run_single_query,
+    run_tkij,
+)
 from .network_figures import (
     figure12_network_distribution,
     figure13_network_scalability,
@@ -20,6 +26,8 @@ from .workloads import PARAMETERS, QUERIES, QuerySpec, build_query, star_spec
 __all__ = [
     "ResultTable",
     "TKIJRunConfig",
+    "run_algorithm",
+    "run_single_query",
     "run_tkij",
     "figure12_network_distribution",
     "figure13_network_scalability",

@@ -1,9 +1,14 @@
 """Command-line entry point for the experiment drivers.
 
 ``python -m repro.experiments <experiment> [options]`` regenerates one of the
-paper's tables/figures at a chosen scale and prints (or saves) the measured series.
-This is a convenience wrapper around the same drivers the benchmarks call; the
-benchmark suite remains the canonical way to reproduce everything at once.
+paper's tables/figures at a chosen scale and prints (or saves) the measured
+series.  All query evaluation dispatches through the algorithm registry
+(:data:`repro.plan.REGISTRY`): ``--list-algorithms`` shows what is registered,
+the generic ``run`` experiment evaluates one query with ``--algorithm``, and
+``--plan auto`` hands TKIJ's knobs to the cost-based planner on any
+TKIJ-running experiment.  ``--output PATH`` writes the table under
+``benchmarks/results/`` (absolute paths are honoured; ``.csv``/``.md`` select
+the format).
 """
 
 from __future__ import annotations
@@ -12,7 +17,8 @@ import argparse
 from typing import Callable, Sequence
 
 from ..mapreduce import BACKEND_NAMES
-from .harness import ResultTable
+from ..plan import PLAN_MODES, REGISTRY, available_algorithms
+from .harness import ResultTable, run_single_query
 from .network_figures import (
     figure12_network_distribution,
     figure13_network_scalability,
@@ -26,8 +32,9 @@ from .synthetic_figures import (
     figure9_topbuckets_strategies,
     figure10_granules,
 )
+from .workloads import QUERIES
 
-__all__ = ["EXPERIMENTS", "build_parser", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "build_parser", "list_algorithms_table", "run_experiment", "main"]
 
 
 def _sizes(argument: str) -> tuple[int, ...]:
@@ -42,13 +49,20 @@ def _positive_int(argument: str) -> int:
 
 
 def _backend_kwargs(args: argparse.Namespace) -> dict[str, object]:
-    """Execution-backend options forwarded to every TKIJ-running driver."""
+    """Execution-backend options forwarded to every engine-running driver."""
     return {"backend": args.backend, "max_workers": args.max_workers}
+
+
+def _run_kwargs(args: argparse.Namespace) -> dict[str, object]:
+    """Backend plus planning options, for drivers that accept ``--plan auto``."""
+    return {**_backend_kwargs(args), "plan": args.plan}
 
 
 EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
     # fig7 and fig12 only characterise the data; they never run the engine and
-    # therefore take no backend options.
+    # therefore take no backend/plan options.  fig8/fig9/fig10 sweep an
+    # assigner/strategy/granularity knob and are therefore always manually
+    # planned (auto would override the knob under study).
     "fig7": lambda args: figure7_score_distribution(size=args.size),
     "fig8": lambda args: figure8_workload_distribution(
         sizes=args.sizes or (args.size,),
@@ -66,25 +80,53 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
         sizes=args.sizes or (args.size,),
         k=args.k,
         num_granules=args.granules,
-        **_backend_kwargs(args),
+        **_run_kwargs(args),
     ),
     "fig12": lambda args: figure12_network_distribution(),
     "fig13": lambda args: figure13_network_scalability(
-        k=args.k, num_granules=args.granules, **_backend_kwargs(args)
+        k=args.k, num_granules=args.granules, **_run_kwargs(args)
     ),
     "fig14": lambda args: figure14_network_effect_k(
-        num_granules=args.granules, **_backend_kwargs(args)
+        num_granules=args.granules, **_run_kwargs(args)
     ),
     "effect-k": lambda args: effect_of_k_synthetic(
-        size=args.size, num_granules=args.granules, **_backend_kwargs(args)
+        size=args.size, num_granules=args.granules, **_run_kwargs(args)
     ),
     "statistics": lambda args: statistics_collection_times(
         sizes=args.sizes or (1_000, 5_000, 20_000),
         num_granules=args.granules,
         **_backend_kwargs(args),
     ),
+    # Generic registry dispatch: one query, any registered algorithm.
+    "run": lambda args: run_single_query(
+        algorithm=args.algorithm,
+        query_name=args.query,
+        size=args.size,
+        k=args.k,
+        options={"mode": args.plan, "num_granules": args.granules},
+        backend=args.backend,
+        max_workers=args.max_workers,
+    ),
 }
 """Experiment name -> driver invocation (parameterised by the parsed CLI options)."""
+
+
+def list_algorithms_table() -> ResultTable:
+    """The registry contents as a table (``--list-algorithms``)."""
+    table = ResultTable(
+        title="Registered algorithms",
+        columns=["name", "title", "semantics", "description"],
+    )
+    for name in available_algorithms():
+        algorithm = REGISTRY[name]
+        doc = (algorithm.__doc__ or "").strip().splitlines()
+        table.add_row(
+            name=name,
+            title=algorithm.title,
+            semantics="scored" if algorithm.scored else "boolean",
+            description=doc[0] if doc else "",
+        )
+    return table
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,13 +135,41 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.experiments",
         description="Regenerate one experiment of the TKIJ paper at laptop scale.",
     )
-    parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment to run")
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS),
+        help="experiment to run",
+    )
     parser.add_argument("--size", type=int, default=400, help="intervals per collection")
     parser.add_argument(
         "--sizes", type=_sizes, default=None, help="comma-separated sizes for sweeps"
     )
     parser.add_argument("--k", type=int, default=100, help="number of results to return")
     parser.add_argument("--granules", type=int, default=10, help="granules per collection")
+    parser.add_argument(
+        "--algorithm",
+        choices=available_algorithms(),
+        default="tkij",
+        help="registered algorithm evaluated by the 'run' experiment",
+    )
+    parser.add_argument(
+        "--plan",
+        choices=list(PLAN_MODES),
+        default="manual",
+        help="who configures TKIJ: 'manual' uses the CLI knobs, 'auto' the cost-based planner",
+    )
+    parser.add_argument(
+        "--list-algorithms",
+        action="store_true",
+        help="list the registered algorithms and exit",
+    )
+    parser.add_argument(
+        "--query",
+        choices=sorted(QUERIES),
+        default="Qo,m",
+        help="Table 1 query evaluated by the 'run' experiment",
+    )
     parser.add_argument(
         "--backend",
         choices=list(BACKEND_NAMES),
@@ -112,7 +182,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker pool size for the thread/process backends (default: CPU count)",
     )
-    parser.add_argument("--output", type=str, default=None, help="write the table to this file")
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help=(
+            "write the table to this file; relative paths land under "
+            "benchmarks/results/ and .csv/.md extensions pick the format"
+        ),
+    )
     return parser
 
 
@@ -125,12 +203,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.list_algorithms:
+        print(list_algorithms_table().to_text())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment is required (or pass --list-algorithms)")
     table = run_experiment(args.experiment, args)
-    text = table.to_text()
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
-    print(text)
+        written = table.save(args.output)
+        print(f"wrote {written}")
+    print(table.to_text())
     return 0
 
 

@@ -1,27 +1,44 @@
-"""Experiment harness: result tables and common runners.
+"""Experiment harness: result tables and registry-dispatched runners.
 
 Every figure/table driver returns a :class:`ResultTable` whose rows are the series
 the paper plots (one row per configuration point).  Benchmarks print these tables
 so the reproduction numbers can be compared against the paper's shapes, and
-EXPERIMENTS.md records one captured run.
+EXPERIMENTS.md records one captured run.  All query evaluation dispatches through
+the :data:`repro.plan.REGISTRY`; nothing in this module (or the figure drivers)
+branches on a concrete algorithm.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-from ..core import TKIJ, LocalJoinConfig, TKIJResult
+from ..core import LocalJoinConfig, TKIJ, TKIJResult
+from ..datagen.synthetic import SyntheticConfig, generate_collections
 from ..mapreduce import ClusterConfig, ExecutionBackend
+from ..plan import ExecutionContext, RunReport, get_algorithm
 from ..query.graph import RTJQuery
 from ..solver import BranchAndBoundSolver
 
-__all__ = ["ResultTable", "TKIJRunConfig", "run_tkij"]
+__all__ = [
+    "ResultTable",
+    "TKIJRunConfig",
+    "run_tkij",
+    "run_algorithm",
+    "run_single_query",
+    "summarize",
+]
+
+RESULTS_DIR = Path("benchmarks") / "results"
+"""Default directory for tables written by the CLI's ``--output``."""
 
 
 @dataclass
 class ResultTable:
-    """A small column-oriented table with text rendering for benchmark output."""
+    """A small column-oriented table with text/CSV/Markdown rendering."""
 
     title: str
     columns: list[str]
@@ -52,6 +69,56 @@ class ResultTable:
             )
         return "\n".join(header)
 
+    def to_csv(self) -> str:
+        """RFC-4180 rendering with raw (unrounded) cell values; blank for missing."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(
+                ["" if row.get(column) is None else row.get(column) for column in self.columns]
+            )
+        return buffer.getvalue()
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured Markdown table (title as a heading)."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join(" --- " for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(_fmt(row.get(column)) for column in self.columns) + " |"
+            )
+        return "\n".join(lines)
+
+    def render(self, format: str = "text") -> str:
+        """Render as ``text``, ``csv`` or ``markdown`` (``md``)."""
+        renderers = {
+            "text": self.to_text,
+            "csv": self.to_csv,
+            "markdown": self.to_markdown,
+            "md": self.to_markdown,
+        }
+        if format not in renderers:
+            raise ValueError(f"unknown format {format!r}; expected one of {sorted(renderers)}")
+        return renderers[format]()
+
+    def save(self, path: str | Path, results_dir: str | Path | None = None) -> Path:
+        """Write the table to ``path`` and return the resolved location.
+
+        Relative paths land under ``results_dir`` (default
+        ``benchmarks/results/``), which is created when missing; the format
+        follows the file extension (``.csv``, ``.md``/``.markdown``, else text).
+        """
+        path = Path(path)
+        if not path.is_absolute():
+            path = Path(results_dir if results_dir is not None else RESULTS_DIR) / path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        suffix = path.suffix.lower().lstrip(".")
+        format = {"csv": "csv", "md": "markdown", "markdown": "markdown"}.get(suffix, "text")
+        path.write_text(self.render(format) + "\n", encoding="utf-8")
+        return path
+
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.to_text()
 
@@ -70,7 +137,10 @@ class TKIJRunConfig:
 
     ``backend``/``max_workers`` select the execution backend of the simulated
     cluster (``serial``, ``thread`` or ``process``), so any figure driver can
-    run its joins serially or in parallel.
+    run its joins serially or in parallel.  ``plan`` selects who configures the
+    evaluator: ``manual`` uses this config's knobs verbatim, ``auto`` lets the
+    cost-based :class:`repro.plan.AutoPlanner` choose granularity, strategy and
+    assigner from collected statistics.
     """
 
     num_granules: int = 20
@@ -83,6 +153,38 @@ class TKIJRunConfig:
     use_index: bool = True
     early_termination: bool = True
     solver_max_nodes: int = 64
+    plan: str = "manual"
+
+    def make_cluster(self) -> ClusterConfig:
+        """The simulated-cluster description of this configuration."""
+        return ClusterConfig(
+            num_reducers=self.num_reducers,
+            num_mappers=self.num_mappers,
+            backend=self.backend,
+            max_workers=self.max_workers,
+        )
+
+    def make_context(self, backend: ExecutionBackend | None = None) -> ExecutionContext:
+        """A fresh execution context for this configuration.
+
+        ``backend`` injects an already-created (shared) execution backend; the
+        caller keeps ownership of it.  Close the context (or use it as a context
+        manager) to release any backend it created itself.
+        """
+        return ExecutionContext(cluster=self.make_cluster(), backend=backend)
+
+    def plan_knobs(self) -> dict[str, Any]:
+        """The TKIJ plan knobs encoded by this configuration."""
+        return {
+            "mode": self.plan,
+            "num_granules": self.num_granules,
+            "strategy": self.strategy,
+            "assigner": self.assigner,
+            "join_config": LocalJoinConfig(
+                use_index=self.use_index, early_termination=self.early_termination
+            ),
+            "solver": BranchAndBoundSolver(max_nodes=self.solver_max_nodes),
+        }
 
     def make_runner(self, backend: ExecutionBackend | None = None) -> TKIJ:
         """Instantiate the TKIJ evaluator for this configuration.
@@ -94,12 +196,7 @@ class TKIJRunConfig:
             num_granules=self.num_granules,
             strategy=self.strategy,
             assigner=self.assigner,
-            cluster=ClusterConfig(
-                num_reducers=self.num_reducers,
-                num_mappers=self.num_mappers,
-                backend=self.backend,
-                max_workers=self.max_workers,
-            ),
+            cluster=self.make_cluster(),
             join_config=LocalJoinConfig(
                 use_index=self.use_index, early_termination=self.early_termination
             ),
@@ -107,21 +204,105 @@ class TKIJRunConfig:
             backend=backend,
         )
 
+
 def run_tkij(
     query: RTJQuery,
     config: TKIJRunConfig | None = None,
     backend: ExecutionBackend | None = None,
+    context: ExecutionContext | None = None,
 ) -> TKIJResult:
     """Run one query under one configuration and return the execution report.
 
-    Without ``backend``, worker pools live only for this call; pass a shared
-    backend (``repro.mapreduce.create_backend``, a context manager) to
-    amortise pool start-up across many queries — the backend then overrides
-    the config's ``backend``/``max_workers`` fields and the caller closes it.
+    Dispatches through the algorithm registry (``repro.plan.REGISTRY['tkij']``).
+    Pass ``context`` to share worker pools *and* the statistics cache across many
+    queries (figure drivers do — phase (a) then runs once per dataset); without
+    it a transient context lives only for this call (``backend`` optionally
+    injects a caller-owned worker pool into it).
+
+    With a shared ``context`` the *context's* cluster is authoritative: the
+    config's execution fields (``backend``/``max_workers``) are ignored, and a
+    disagreement on the cluster shape (``num_reducers``/``num_mappers``) —
+    which would silently change the measured metrics — is rejected.
     """
     config = config or TKIJRunConfig()
-    with config.make_runner(backend) as runner:
-        return runner.execute(query)
+    owns_context = context is None
+    if context is not None and (
+        config.num_reducers != context.cluster.num_reducers
+        or config.num_mappers != context.cluster.num_mappers
+    ):
+        raise ValueError(
+            f"config cluster shape ({config.num_reducers}r/{config.num_mappers}m) "
+            f"disagrees with the shared context "
+            f"({context.cluster.num_reducers}r/{context.cluster.num_mappers}m); "
+            "build the context from the same configuration"
+        )
+    context = context or config.make_context(backend)
+    try:
+        report = get_algorithm("tkij").run(query, context, **config.plan_knobs())
+        return report.raw
+    finally:
+        if owns_context:
+            context.close()
+
+
+def run_algorithm(
+    name: str,
+    query: RTJQuery,
+    context: ExecutionContext,
+    **knobs: Any,
+) -> RunReport:
+    """Run any registered algorithm on a query and return its execution report."""
+    return get_algorithm(name).run(query, context, **knobs)
+
+
+def run_single_query(
+    algorithm: str = "tkij",
+    query_name: str = "Qo,m",
+    size: int = 200,
+    k: int = 20,
+    params_name: str = "P1",
+    options: Mapping[str, Any] | None = None,
+    backend: str = "serial",
+    max_workers: int | None = None,
+    num_reducers: int = 8,
+    seed: int = 7,
+) -> ResultTable:
+    """Generic driver: one Table-1 query, one registered algorithm, one report.
+
+    Boolean-only algorithms automatically get the Boolean parameter set (PB).
+    ``options`` holds generic knob candidates (``mode``, ``num_granules``, ...);
+    each algorithm picks the subset it understands via ``plan_knobs``, so this
+    driver needs no per-algorithm branches.
+    """
+    from .workloads import build_query
+
+    algo = get_algorithm(algorithm)
+    params = params_name if algo.scored else "PB"
+    collections = list(
+        generate_collections(3, SyntheticConfig(size=size), seed=seed).values()
+    )
+    query = build_query(query_name, collections, params, k=k)
+    config = TKIJRunConfig(
+        num_reducers=num_reducers, backend=backend, max_workers=max_workers
+    )
+    with config.make_context() as context:
+        plan = algo.plan(query, context, **algo.plan_knobs(options or {}))
+        report = algo.execute(plan)
+
+    table = ResultTable(
+        title=f"{algo.title} on {query_name} ({params}, |Ci|={size}, k={k})",
+        columns=["metric", "value"],
+    )
+    for knob, value in plan.knobs.items():
+        # Only scalar knobs tabulate usefully (not solver/join-config objects).
+        if isinstance(value, (int, float, str, bool)):
+            table.add_row(metric=f"knob_{knob}", value=value)
+    for metric, value in report.describe().items():
+        table.add_row(metric=metric, value=value)
+    if report.explanation is not None:
+        for index, reason in enumerate(report.explanation.reasons):
+            table.add_row(metric=f"plan_reason_{index}", value=reason)
+    return table
 
 
 def summarize(results: Mapping[str, TKIJResult], keys: Sequence[str]) -> ResultTable:

@@ -18,7 +18,6 @@ from ..datagen.network import (
     sample_collection,
 )
 from ..temporal.interval import IntervalCollection
-from ..mapreduce import create_backend
 from .harness import ResultTable, TKIJRunConfig, run_tkij
 from .workloads import build_query
 
@@ -90,6 +89,7 @@ def figure13_network_scalability(
     seed: int = 13,
     backend: str = "serial",
     max_workers: int | None = None,
+    plan: str = "manual",
 ) -> ResultTable:
     """Running time while the sampled fraction of the trace grows (Figure 13)."""
     base = generate_network_collection(config, seed=seed)
@@ -97,7 +97,8 @@ def figure13_network_scalability(
         title=f"Figure 13 — network scalability ({params_name}, g={num_granules}, k={k})",
         columns=["query", "fraction", "size", "total_seconds", "topbuckets_seconds", "nonempty_buckets"],
     )
-    with create_backend(backend, max_workers) as shared_backend:
+    run_config = TKIJRunConfig(backend=backend, max_workers=max_workers)
+    with run_config.make_context() as context:
         for fraction in fractions:
             sampled = sample_collection(base, fraction, seed=seed)
             collections = [
@@ -107,7 +108,9 @@ def figure13_network_scalability(
             for query_name in queries:
                 query = build_query(query_name, collections, params_name, k=k)
                 result = run_tkij(
-                    query, TKIJRunConfig(num_granules=num_granules), backend=shared_backend
+                    query,
+                    TKIJRunConfig(num_granules=num_granules, plan=plan),
+                    context=context,
                 )
                 matrix = result.top_buckets
                 table.add_row(
@@ -131,6 +134,7 @@ def figure14_network_effect_k(
     seed: int = 13,
     backend: str = "serial",
     max_workers: int | None = None,
+    plan: str = "manual",
 ) -> ResultTable:
     """Running time as k grows on the network trace (Figure 14)."""
     collections = network_collections(config, seed=seed)
@@ -138,12 +142,15 @@ def figure14_network_effect_k(
         title=f"Figure 14 — network data, effect of k ({params_name}, g={num_granules})",
         columns=["query", "k", "total_seconds", "selected_combinations"],
     )
-    with create_backend(backend, max_workers) as shared_backend:
+    run_config = TKIJRunConfig(backend=backend, max_workers=max_workers)
+    with run_config.make_context() as context:
         for query_name in queries:
             for k in ks:
                 query = build_query(query_name, collections, params_name, k=k)
                 result = run_tkij(
-                    query, TKIJRunConfig(num_granules=num_granules), backend=shared_backend
+                    query,
+                    TKIJRunConfig(num_granules=num_granules, plan=plan),
+                    context=context,
                 )
                 table.add_row(
                     query=query_name,

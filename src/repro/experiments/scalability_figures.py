@@ -1,17 +1,19 @@
 """Scalability experiments against the Boolean baselines (Figure 11) and the
 statistics-collection timing reported in Section 4 of the paper.
+
+Baseline arms dispatch through the algorithm registry — the driver holds only a
+query -> algorithm-name table (the paper's protocol), never per-algorithm code.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from ..baselines.allmatrix import AllMatrixConfig, AllMatrixJoin
-from ..baselines.rccis import RCCISConfig, RCCISJoin
 from ..core.statistics import collect_statistics_mapreduce
 from ..datagen.synthetic import SyntheticConfig, generate_collections
-from ..mapreduce import ClusterConfig, MapReduceEngine, create_backend
-from .harness import ResultTable, TKIJRunConfig, run_tkij
+from ..mapreduce import ClusterConfig, MapReduceEngine
+from ..plan import get_algorithm
+from .harness import ResultTable, TKIJRunConfig, run_algorithm, run_tkij
 from .workloads import build_query
 
 __all__ = ["figure11_scalability", "statistics_collection_times"]
@@ -19,9 +21,9 @@ __all__ = ["figure11_scalability", "statistics_collection_times"]
 # Baseline used per query, as in the paper: All-Matrix for the sequence query Qb,b,
 # RCCIS for the colocation queries Qo,o and Qs,m.
 _BASELINE_FOR_QUERY = {
-    "Qb,b": "All-Matrix",
-    "Qo,o": "RCCIS",
-    "Qs,m": "RCCIS",
+    "Qb,b": "allmatrix",
+    "Qo,o": "rccis",
+    "Qs,m": "rccis",
 }
 
 
@@ -34,15 +36,18 @@ def figure11_scalability(
     seed: int = 7,
     backend: str = "serial",
     max_workers: int | None = None,
+    plan: str = "manual",
 ) -> ResultTable:
     """TKIJ (scored P1 and Boolean PB) against All-Matrix / RCCIS while |Ci| grows."""
     table = ResultTable(
         title=f"Figure 11 — scalability (g={num_granules}, k={k})",
         columns=["query", "size", "system", "total_seconds", "shuffle_records", "results"],
     )
-    with create_backend(backend, max_workers) as shared_backend:
+    base = TKIJRunConfig(num_reducers=num_reducers, backend=backend, max_workers=max_workers)
+    with base.make_context() as context:
         for query_name in queries:
-            baseline_name = _BASELINE_FOR_QUERY.get(query_name, "RCCIS")
+            baseline_name = _BASELINE_FOR_QUERY.get(query_name, "rccis")
+            baseline = get_algorithm(baseline_name)
             for size in sizes:
                 collections = list(
                     generate_collections(3, SyntheticConfig(size=size), seed=seed).values()
@@ -51,9 +56,9 @@ def figure11_scalability(
                 for params_name in ("P1", "PB"):
                     query = build_query(query_name, collections, params_name, k=k)
                     config = TKIJRunConfig(
-                        num_granules=num_granules, num_reducers=num_reducers
+                        num_granules=num_granules, num_reducers=num_reducers, plan=plan
                     )
-                    result = run_tkij(query, config, backend=shared_backend)
+                    result = run_tkij(query, config, context=context)
                     table.add_row(
                         query=query_name,
                         size=size,
@@ -64,28 +69,14 @@ def figure11_scalability(
                     )
 
                 boolean_query = build_query(query_name, collections, "PB", k=k)
-                cluster = ClusterConfig(num_reducers=num_reducers)
-                if baseline_name == "All-Matrix":
-                    baseline = AllMatrixJoin(
-                        cluster=cluster,
-                        config=AllMatrixConfig(num_partitions=4),
-                        backend=shared_backend,
-                    )
-                else:
-                    baseline = RCCISJoin(
-                        cluster=cluster,
-                        config=RCCISConfig(num_granules=num_reducers),
-                        backend=shared_backend,
-                    )
-                with baseline:
-                    baseline_result = baseline.execute(boolean_query)
+                report = run_algorithm(baseline_name, boolean_query, context)
                 table.add_row(
                     query=query_name,
                     size=size,
-                    system=f"{baseline_name}-PB",
-                    total_seconds=baseline_result.elapsed_seconds,
-                    shuffle_records=baseline_result.shuffle_records,
-                    results=len(baseline_result.results),
+                    system=f"{baseline.title}-PB",
+                    total_seconds=report.total_seconds,
+                    shuffle_records=report.shuffle_records,
+                    results=len(report.results),
                 )
     return table
 

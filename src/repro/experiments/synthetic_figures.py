@@ -13,7 +13,6 @@ from typing import Sequence
 from ..baselines.naive import all_pair_scores
 from ..datagen.synthetic import SyntheticConfig, generate_collections
 from ..temporal.predicates import predicate_by_name
-from ..mapreduce import create_backend
 from .harness import ResultTable, TKIJRunConfig, run_tkij
 from .workloads import PARAMETERS, build_query, star_spec
 
@@ -80,7 +79,11 @@ def figure8_workload_distribution(
     backend: str = "serial",
     max_workers: int | None = None,
 ) -> ResultTable:
-    """LPT vs DTB: join time (8a), max reducer time (8b), min k-th score (8c)."""
+    """LPT vs DTB: join time (8a), max reducer time (8b), min k-th score (8c).
+
+    This figure *sweeps* the assigner, so runs are always manually planned (an
+    auto plan would override the very knob under study).
+    """
     table = ResultTable(
         title=f"Figure 8 — workload distribution ({params_name}, g={num_granules}, k={k})",
         columns=[
@@ -93,7 +96,8 @@ def figure8_workload_distribution(
             "shuffle_records",
         ],
     )
-    with create_backend(backend, max_workers) as shared_backend:
+    base = TKIJRunConfig(num_reducers=num_reducers, backend=backend, max_workers=max_workers)
+    with base.make_context() as context:
         for size in sizes:
             collections = _collections(3, size, seed=seed)
             for query_name in queries:
@@ -104,7 +108,7 @@ def figure8_workload_distribution(
                         assigner=assigner,
                         num_reducers=num_reducers,
                     )
-                    result = run_tkij(query, config, backend=shared_backend)
+                    result = run_tkij(query, config, context=context)
                     table.add_row(
                         size=size,
                         query=query_name,
@@ -130,7 +134,11 @@ def figure9_topbuckets_strategies(
     backend: str = "serial",
     max_workers: int | None = None,
 ) -> ResultTable:
-    """Detailed stage times of the three TopBuckets strategies on Qb*, Qo*, Qm*."""
+    """Detailed stage times of the three TopBuckets strategies on Qb*, Qo*, Qm*.
+
+    This figure *sweeps* the strategy, so runs are always manually planned (an
+    auto plan would override the very knob under study).
+    """
     table = ResultTable(
         title=f"Figure 9 — TopBuckets strategies (|Ci|={size}, g={num_granules}, k={k})",
         columns=[
@@ -145,7 +153,8 @@ def figure9_topbuckets_strategies(
             "selected_combinations",
         ],
     )
-    with create_backend(backend, max_workers) as shared_backend:
+    base = TKIJRunConfig(backend=backend, max_workers=max_workers)
+    with base.make_context() as context:
         for family in families:
             for n in num_vertices:
                 collections = _collections(n, size, seed=seed)
@@ -153,7 +162,7 @@ def figure9_topbuckets_strategies(
                 for strategy in strategies:
                     query = spec.build(collections, PARAMETERS[params_name], k=k)
                     config = TKIJRunConfig(num_granules=num_granules, strategy=strategy)
-                    result = run_tkij(query, config, backend=shared_backend)
+                    result = run_tkij(query, config, context=context)
                     table.add_row(
                         query=family,
                         n=n,
@@ -179,7 +188,11 @@ def figure10_granules(
     backend: str = "serial",
     max_workers: int | None = None,
 ) -> ResultTable:
-    """Effect of the number of granules: total time (10a), imbalance (10b), detail (10c)."""
+    """Effect of the number of granules: total time (10a), imbalance (10b), detail (10c).
+
+    This figure *sweeps* the granularity, so runs are always manually planned
+    (an auto plan would override the very knob under study).
+    """
     table = ResultTable(
         title=f"Figure 10 — number of granules (|Ci|={size}, {params_name}, k={k})",
         columns=[
@@ -193,14 +206,13 @@ def figure10_granules(
             "selected_combinations",
         ],
     )
-    with create_backend(backend, max_workers) as shared_backend:
+    base = TKIJRunConfig(backend=backend, max_workers=max_workers)
+    with base.make_context() as context:
         for query_name in queries:
             collections = _collections(3, size, seed=seed)
             for g in granules:
                 query = build_query(query_name, collections, params_name, k=k)
-                result = run_tkij(
-                    query, TKIJRunConfig(num_granules=g), backend=shared_backend
-                )
+                result = run_tkij(query, TKIJRunConfig(num_granules=g), context=context)
                 table.add_row(
                     query=query_name,
                     g=g,
@@ -224,19 +236,23 @@ def effect_of_k_synthetic(
     seed: int = 7,
     backend: str = "serial",
     max_workers: int | None = None,
+    plan: str = "manual",
 ) -> ResultTable:
     """Section 4.2.6: running time as k varies (expected to stay nearly flat)."""
     table = ResultTable(
         title=f"Effect of k (synthetic, |Ci|={size}, g={num_granules})",
         columns=["query", "k", "total_seconds", "selected_combinations"],
     )
-    with create_backend(backend, max_workers) as shared_backend:
+    base = TKIJRunConfig(backend=backend, max_workers=max_workers)
+    with base.make_context() as context:
         for query_name in queries:
             collections = _collections(3, size, seed=seed)
             for k in ks:
                 query = build_query(query_name, collections, params_name, k=k)
                 result = run_tkij(
-                    query, TKIJRunConfig(num_granules=num_granules), backend=shared_backend
+                    query,
+                    TKIJRunConfig(num_granules=num_granules, plan=plan),
+                    context=context,
                 )
                 table.add_row(
                     query=query_name,

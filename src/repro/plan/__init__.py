@@ -1,0 +1,49 @@
+"""Plan/operator layer: unified algorithm registry, cost-based planner, caches.
+
+This package is the dispatch substrate of the evaluation stack:
+
+* :class:`Algorithm` — the plan/execute protocol every strategy implements;
+* :data:`REGISTRY` / :func:`get_algorithm` — the unified algorithm registry
+  (``tkij``, ``naive``, ``allmatrix``, ``rccis``) the harness, figure drivers
+  and CLI dispatch through;
+* :class:`ExecutionContext` — cluster config, shared execution backend and the
+  :class:`StatisticsCache` reusing TKIJ's query-independent phase (a) across
+  queries (incrementally maintained on updates);
+* :class:`AutoPlanner` — cost-based choice of granularity, TopBuckets strategy
+  and workload assigner from collected statistics, recorded as a
+  :class:`PlanExplanation`.
+
+The composable phase operators themselves (StatisticsOp ... MergeOp) live in
+:mod:`repro.core.operators`; algorithms here assemble them.
+"""
+
+from .algorithm import Algorithm, ExecutionPlan, RunReport
+from .algorithms import (
+    PLAN_MODES,
+    AllMatrixAlgorithm,
+    NaiveAlgorithm,
+    RCCISAlgorithm,
+    TKIJAlgorithm,
+)
+from .context import ExecutionContext, StatisticsCache
+from .planner import AutoPlanner, PlanExplanation
+from .registry import REGISTRY, available_algorithms, get_algorithm, register
+
+__all__ = [
+    "Algorithm",
+    "ExecutionPlan",
+    "RunReport",
+    "PLAN_MODES",
+    "TKIJAlgorithm",
+    "NaiveAlgorithm",
+    "AllMatrixAlgorithm",
+    "RCCISAlgorithm",
+    "ExecutionContext",
+    "StatisticsCache",
+    "AutoPlanner",
+    "PlanExplanation",
+    "REGISTRY",
+    "available_algorithms",
+    "get_algorithm",
+    "register",
+]

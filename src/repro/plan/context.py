@@ -1,0 +1,246 @@
+"""Execution context shared by every registered algorithm.
+
+:class:`ExecutionContext` bundles what an :class:`~repro.plan.Algorithm` needs
+beyond the query itself: the simulated cluster shape, a shared execution
+backend (one worker pool amortised across many queries), and the
+:class:`StatisticsCache` that makes TKIJ's query-independent phase (a) run once
+per (dataset, granularity) and be *incrementally maintained* — via the existing
+:func:`repro.core.statistics.update_statistics` — instead of recollected when
+collections change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..core.statistics import (
+    DatasetStatistics,
+    collect_statistics,
+    update_statistics,
+)
+from ..mapreduce import ClusterConfig, ExecutionBackend, create_backend
+from ..temporal.interval import Interval, IntervalCollection
+
+__all__ = ["ExecutionContext", "StatisticsCache", "StatisticsKey"]
+
+StatisticsKey = tuple[tuple[str, ...], int]
+"""Cache key: (sorted collection names, number of granules)."""
+
+Collector = Callable[[Mapping[str, IntervalCollection], int], DatasetStatistics]
+
+
+@dataclass
+class _CacheEntry:
+    """One cached statistics object plus the dataset fingerprint it was built from."""
+
+    statistics: DatasetStatistics
+    sizes: dict[str, int]
+    time_ranges: dict[str, tuple[float, float]]
+    checksums: dict[str, float]
+
+
+def _collection_checksum(collection: IntervalCollection) -> float:
+    """Cheap content fingerprint: a weighted sum of every interval's endpoints.
+
+    Catches mutations that preserve both the size and the time range (e.g. one
+    interior interval replaced by another); collisions require the endpoint
+    sums to cancel exactly, which no plausible edit does.
+    """
+    return float(collection.starts.sum() + 2.0 * collection.ends.sum())
+
+
+def _intervals_checksum(intervals: Sequence[Interval]) -> float:
+    """The checksum contribution of a batch of intervals."""
+    return float(sum(interval.start + 2.0 * interval.end for interval in intervals))
+
+
+def _checksums_match(recorded: float, current: float) -> bool:
+    # Incremental maintenance accumulates float error; compare with tolerance
+    # (a real content change moves the sum by whole endpoint magnitudes).
+    return math.isclose(recorded, current, rel_tol=1e-9, abs_tol=1e-6)
+
+
+class StatisticsCache:
+    """Reusable results of TKIJ phase (a), keyed by (collection ids, granularity).
+
+    A lookup validates the cached entry against the *current* collections: if a
+    collection's size, time range or endpoint checksum drifted without a
+    matching :meth:`update` call, the entry is considered stale and dropped —
+    so mutated data that happens to share names is not served stale statistics
+    (the checksum is a weighted endpoint sum; only an edit whose endpoint sums
+    cancel exactly could slip through).  ``hits`` / ``misses`` / ``updates``
+    counters let tests and reports assert that phase (a) really was skipped.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[StatisticsKey, _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------ basics
+    @staticmethod
+    def key_for(
+        collections: Mapping[str, IntervalCollection], num_granules: int
+    ) -> StatisticsKey:
+        """The cache key of a dataset at one granularity."""
+        return (tuple(sorted(collections)), num_granules)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters are kept)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ lookup
+    def lookup(
+        self, collections: Mapping[str, IntervalCollection], num_granules: int
+    ) -> DatasetStatistics | None:
+        """Cached statistics for this dataset/granularity, or ``None`` (no counter side effects)."""
+        key = self.key_for(collections, num_granules)
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        for name, collection in collections.items():
+            stale = (
+                entry.sizes.get(name) != len(collection)
+                or entry.time_ranges.get(name) != collection.time_range()
+                or not _checksums_match(
+                    entry.checksums.get(name, math.nan), _collection_checksum(collection)
+                )
+            )
+            if stale:
+                # The dataset drifted without update(); drop the entry.
+                del self._entries[key]
+                return None
+        return entry.statistics
+
+    def get_or_collect(
+        self,
+        collections: Mapping[str, IntervalCollection],
+        num_granules: int,
+        collector: Collector | None = None,
+    ) -> tuple[DatasetStatistics, bool]:
+        """Return ``(statistics, was_cached)``, collecting phase (a) only on a miss."""
+        statistics = self.lookup(collections, num_granules)
+        if statistics is not None:
+            self.hits += 1
+            return statistics, True
+        self.misses += 1
+        collector = collector or collect_statistics
+        statistics = collector(collections, num_granules)
+        self._entries[self.key_for(collections, num_granules)] = _CacheEntry(
+            statistics=statistics,
+            sizes={name: len(collection) for name, collection in collections.items()},
+            time_ranges={
+                name: collection.time_range() for name, collection in collections.items()
+            },
+            checksums={
+                name: _collection_checksum(collection)
+                for name, collection in collections.items()
+            },
+        )
+        return statistics, False
+
+    # ----------------------------------------------------------------- updates
+    def update(
+        self,
+        inserted: Mapping[str, Sequence[Interval]] | None = None,
+        deleted: Mapping[str, Sequence[Interval]] | None = None,
+    ) -> int:
+        """Incrementally maintain every cached entry touching the named collections.
+
+        Applies :func:`repro.core.statistics.update_statistics` (paper §3.2) to
+        each matching entry — at every cached granularity — and adjusts the
+        recorded sizes so subsequent lookups of the updated collections still
+        hit.  Call this *after* mutating the collections themselves (intervals
+        appended/removed), passing the same interval sequences.  Returns the
+        number of entries maintained.
+
+        Note: inserted intervals outside an entry's original time range clamp to
+        the border granules (like any out-of-range timestamp), so lookups after
+        such an update treat the entry as stale unless the collection's range is
+        unchanged.
+        """
+        self.updates += 1
+        maintained = 0
+        for key, entry in self._entries.items():
+            names = set(key[0])
+            ins = {n: v for n, v in (inserted or {}).items() if n in names}
+            dels = {n: v for n, v in (deleted or {}).items() if n in names}
+            if not ins and not dels:
+                continue
+            update_statistics(entry.statistics, inserted=ins, deleted=dels)
+            for name, intervals in ins.items():
+                entry.sizes[name] = entry.sizes.get(name, 0) + len(intervals)
+                entry.checksums[name] = entry.checksums.get(name, 0.0) + _intervals_checksum(
+                    intervals
+                )
+            for name, intervals in dels.items():
+                entry.sizes[name] = entry.sizes.get(name, 0) - len(intervals)
+                entry.checksums[name] = entry.checksums.get(name, 0.0) - _intervals_checksum(
+                    intervals
+                )
+            maintained += 1
+        return maintained
+
+    def refresh_fingerprints(
+        self, collections: Mapping[str, IntervalCollection]
+    ) -> None:
+        """Re-record the fingerprints of ``collections`` on every matching entry.
+
+        Needed after an :meth:`update` whose inserted intervals extended a
+        collection's time range: the bucket counts stay correct (clamped to the
+        border granules, per §3.2) but the staleness fingerprint must follow the
+        collection, otherwise the next lookup recollects.
+        """
+        for key, entry in self._entries.items():
+            for name in key[0]:
+                if name in collections:
+                    entry.time_ranges[name] = collections[name].time_range()
+                    entry.checksums[name] = _collection_checksum(collections[name])
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an algorithm needs to execute a plan.
+
+    ``cluster`` describes the simulated cluster (including which execution
+    backend runs map/reduce tasks); ``backend`` optionally injects an
+    already-created backend (the caller keeps ownership), otherwise the context
+    lazily creates — and on :meth:`close` releases — its own from the cluster
+    config; ``statistics`` is the reusable phase (a) cache shared by every query
+    executed in this context.
+    """
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    backend: ExecutionBackend | None = None
+    statistics: StatisticsCache = field(default_factory=StatisticsCache)
+    _owned_backend: ExecutionBackend | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def get_backend(self) -> ExecutionBackend:
+        """The shared execution backend (created from the cluster config on first use)."""
+        if self.backend is not None:
+            return self.backend
+        if self._owned_backend is None:
+            self._owned_backend = create_backend(
+                self.cluster.backend, self.cluster.max_workers
+            )
+        return self._owned_backend
+
+    def close(self) -> None:
+        """Release the context's own backend workers (injected backends stay up)."""
+        if self._owned_backend is not None:
+            self._owned_backend.close()
+            self._owned_backend = None
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,241 @@
+"""Cost-based planning: choose TKIJ's knobs from collected statistics.
+
+The paper's experiments show that no single configuration dominates: the best
+granularity ``g`` depends on data volume and skew (Figure 10), the best
+TopBuckets strategy on the size of the combination space (Figure 9), and the
+best workload assigner on whether scores are informative (Figure 8).  The
+:class:`AutoPlanner` encodes those regimes as an explicit cost heuristic over
+:class:`~repro.core.statistics.DatasetStatistics` — collected once through the
+context's :class:`~repro.plan.StatisticsCache`, so probing is amortised — and
+records *why* each knob was chosen in a :class:`PlanExplanation`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.operators import collections_by_name
+from ..core.statistics import DatasetStatistics
+from ..query.graph import RTJQuery
+from ..temporal.comparators import PredicateParams
+from .context import ExecutionContext
+
+__all__ = ["AutoPlanner", "PlanExplanation"]
+
+
+@dataclass
+class PlanExplanation:
+    """The planner's chosen knobs, the statistics they were derived from, and why."""
+
+    algorithm: str
+    num_granules: int
+    strategy: str
+    assigner: str
+    inputs: dict[str, float] = field(default_factory=dict)
+    reasons: list[str] = field(default_factory=list)
+
+    def describe(self) -> dict[str, Any]:
+        """Flat summary merged into result tables (prefixed ``plan_`` by callers)."""
+        summary: dict[str, Any] = {
+            "num_granules": self.num_granules,
+            "strategy": self.strategy,
+            "assigner": self.assigner,
+        }
+        summary.update(self.inputs)
+        return summary
+
+    def summary(self) -> str:
+        """One-line human-readable account of the plan."""
+        choices = (
+            f"g={self.num_granules} strategy={self.strategy} assigner={self.assigner}"
+        )
+        if not self.reasons:
+            return choices
+        return f"{choices} ({'; '.join(self.reasons)})"
+
+
+def _bucket_skew(statistics: DatasetStatistics) -> float:
+    """Max/mean cardinality over non-empty buckets, across collections (>= 1)."""
+    skew = 1.0
+    for matrix in statistics.matrices.values():
+        counts = [count for count in matrix.counts.values() if count > 0]
+        if not counts:
+            continue
+        mean = sum(counts) / len(counts)
+        if mean > 0:
+            skew = max(skew, max(counts) / mean)
+    return skew
+
+
+def _is_boolean(query: RTJQuery) -> bool:
+    """Whether every edge predicate carries the Boolean parameter set (PB)."""
+    boolean = PredicateParams.boolean()
+    return all(edge.predicate.params == boolean for edge in query.edges)
+
+
+@dataclass
+class AutoPlanner:
+    """Chooses granularity, TopBuckets strategy and assigner from statistics.
+
+    The planner probes the dataset once at ``probe_granules`` (through the
+    context's statistics cache, so the probe is free when the dataset was seen
+    before) and extrapolates the non-empty bucket count to each candidate
+    granularity: buckets are 2-D (start granule, end granule), so the count
+    scales roughly with ``g**2`` until it saturates at the collection size.
+    """
+
+    probe_granules: int = 10
+    granule_candidates: tuple[int, ...] = (5, 10, 20, 40)
+    combination_budget: int = 20_000
+    """Upper bound on the estimated combination count phase (b) may enumerate."""
+    brute_force_budget: int = 64
+    """Combination spaces at most this large get joint (tight) bounds outright."""
+    skew_threshold: float = 4.0
+    """Bucket skew above which finer granularities are favoured."""
+
+    def plan(
+        self, query: RTJQuery, context: ExecutionContext
+    ) -> tuple[dict[str, Any], PlanExplanation]:
+        """Return ``(knobs, explanation)`` for evaluating ``query`` in ``context``."""
+        collections = collections_by_name(query)
+        probe_started = time.perf_counter()
+        statistics, probe_cached = context.statistics.get_or_collect(
+            collections, self.probe_granules
+        )
+        probe_seconds = time.perf_counter() - probe_started
+
+        sizes = {name: len(collection) for name, collection in collections.items()}
+        nonempty = {
+            name: max(1, statistics.nonempty_bucket_count(name)) for name in collections
+        }
+        skew = _bucket_skew(statistics)
+        reasons: list[str] = []
+
+        num_granules, est_combos = self._choose_granularity(
+            query, sizes, nonempty, skew, reasons
+        )
+        strategy = self._choose_strategy(query, est_combos, reasons)
+        assigner = self._choose_assigner(query, skew, reasons)
+
+        inputs = {
+            "total_intervals": float(sum(sizes.values())),
+            "num_vertices": float(len(query.vertices)),
+            "num_edges": float(len(query.edges)),
+            "k": float(query.k),
+            "bucket_skew": skew,
+            "estimated_combinations": float(est_combos),
+            "probe_granules": float(self.probe_granules),
+            # Phase (a) work spent probing (attributed to the statistics phase
+            # by TKIJAlgorithm.execute, so auto-planned reports stay honest).
+            "probe_seconds": probe_seconds,
+            "probe_cached": 1.0 if probe_cached else 0.0,
+        }
+        knobs = {
+            "num_granules": num_granules,
+            "strategy": strategy,
+            "assigner": assigner,
+        }
+        explanation = PlanExplanation(
+            algorithm="tkij",
+            num_granules=num_granules,
+            strategy=strategy,
+            assigner=assigner,
+            inputs=inputs,
+            reasons=reasons,
+        )
+        return knobs, explanation
+
+    # ----------------------------------------------------------------- choices
+    def _estimated_combinations(
+        self,
+        query: RTJQuery,
+        sizes: Mapping[str, int],
+        nonempty: Mapping[str, int],
+        num_granules: int,
+    ) -> int:
+        """Estimated size of the bucket-combination space at ``num_granules``."""
+        scale = (num_granules / self.probe_granules) ** 2
+        est = 1
+        for vertex in query.vertices:
+            name = query.collections[vertex].name
+            per_collection = min(
+                sizes[name],
+                num_granules * (num_granules + 1) // 2,
+                max(1, round(nonempty[name] * scale)),
+            )
+            est *= max(1, per_collection)
+        return est
+
+    def _choose_granularity(
+        self,
+        query: RTJQuery,
+        sizes: Mapping[str, int],
+        nonempty: Mapping[str, int],
+        skew: float,
+        reasons: list[str],
+    ) -> tuple[int, int]:
+        # Enough combinations that the top-k work can be isolated and pruned
+        # (skewed data benefits from finer buckets), but never past the budget
+        # phase (b) can afford to enumerate.
+        target = max(256, 4 * query.k)
+        if skew >= self.skew_threshold:
+            target *= 4
+        best_g, best_est, best_distance = None, None, None
+        for candidate in self.granule_candidates:
+            est = self._estimated_combinations(query, sizes, nonempty, candidate)
+            if est > self.combination_budget:
+                continue
+            distance = abs(est - target)
+            # Tie-break towards the smaller granularity: phase (b) is cheaper.
+            if best_distance is None or distance < best_distance:
+                best_g, best_est, best_distance = candidate, est, distance
+        if best_g is None:
+            best_g = min(self.granule_candidates)
+            best_est = self._estimated_combinations(query, sizes, nonempty, best_g)
+            reasons.append(
+                f"g={best_g}: every candidate granularity exceeds the combination "
+                f"budget {self.combination_budget}; falling back to the coarsest"
+            )
+        else:
+            reasons.append(
+                f"g={best_g}: ~{best_est} combinations, closest to target {target} "
+                f"(skew {skew:.1f}) within budget {self.combination_budget}"
+            )
+        return best_g, int(best_est)
+
+    def _choose_strategy(
+        self, query: RTJQuery, est_combos: int, reasons: list[str]
+    ) -> str:
+        if est_combos <= self.brute_force_budget:
+            reasons.append(
+                f"strategy=brute-force: ~{est_combos} combinations fit the tight-bounds "
+                f"budget {self.brute_force_budget}"
+            )
+            return "brute-force"
+        if len(query.edges) >= 3 or len(query.vertices) >= 4:
+            reasons.append(
+                "strategy=two-phase: multi-edge query, loose pairwise bounds compound "
+                "slack so tight refinement of the survivors pays off (Figure 9)"
+            )
+            return "two-phase"
+        reasons.append(
+            "strategy=loose: pairwise bounds suffice for small query graphs (Figure 9)"
+        )
+        return "loose"
+
+    def _choose_assigner(
+        self, query: RTJQuery, skew: float, reasons: list[str]
+    ) -> str:
+        if _is_boolean(query):
+            reasons.append(
+                "assigner=lpt: Boolean predicates make every score 0/1, so DTB's "
+                "score-ordered assignment carries no information"
+            )
+            return "lpt"
+        reasons.append(
+            f"assigner=dtb: scored predicates, spread high-scoring work evenly "
+            f"(bucket skew {skew:.1f}, Figure 8)"
+        )
+        return "dtb"

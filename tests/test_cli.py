@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.experiments.cli import (
+    EXPERIMENTS,
+    build_parser,
+    list_algorithms_table,
+    main,
+    run_experiment,
+)
+from repro.plan import available_algorithms
 
 
 class TestParser:
@@ -25,9 +32,20 @@ class TestParser:
     def test_every_registered_experiment_has_a_driver(self):
         expected = {
             "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "effect-k", "statistics",
+            "effect-k", "statistics", "run",
         }
         assert set(EXPERIMENTS) == expected
+
+    def test_algorithm_and_plan_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--algorithm", "naive", "--plan", "auto"])
+        assert args.algorithm == "naive"
+        assert args.plan == "auto"
+
+    def test_unknown_algorithm_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--algorithm", "not-an-algorithm"])
 
 
 class TestExecution:
@@ -45,7 +63,58 @@ class TestExecution:
         assert "Figure 7" in captured.out
         assert "Figure 7" in output.read_text()
 
+    def test_main_relative_output_lands_under_benchmarks_results(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = main(["fig7", "--size", "40", "--output", "fig7.csv"])
+        assert code == 0
+        written = tmp_path / "benchmarks" / "results" / "fig7.csv"
+        assert written.exists()
+        first_line = written.read_text().splitlines()[0]
+        assert first_line.startswith("predicate,")
+
     def test_main_statistics_experiment(self, capsys):
         code = main(["statistics", "--sizes", "200,400", "--granules", "5"])
         assert code == 0
         assert "Statistics collection" in capsys.readouterr().out
+
+
+class TestRegistryDispatch:
+    def test_list_algorithms(self, capsys):
+        code = main(["--list-algorithms"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in available_algorithms():
+            assert name in out
+
+    def test_list_algorithms_table_covers_registry(self):
+        table = list_algorithms_table()
+        assert table.column("name") == available_algorithms()
+
+    def test_missing_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_run_experiment_with_algorithm(self, capsys):
+        code = main(["run", "--algorithm", "naive", "--size", "30", "--k", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Naive" in out
+        assert "total_seconds" in out
+
+    def test_run_experiment_auto_plan_prints_explanation(self, capsys):
+        code = main(["run", "--size", "40", "--k", "5", "--plan", "auto"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan_strategy" in out
+        assert "plan_reason_0" in out
+
+    def test_run_experiment_boolean_algorithm_uses_pb(self, capsys):
+        code = main(
+            ["run", "--algorithm", "allmatrix", "--query", "Qb,b", "--size", "30", "--k", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "All-Matrix" in out
+        assert "PB" in out

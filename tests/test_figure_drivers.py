@@ -6,8 +6,6 @@ internally-consistent rows, so a benchmark failure can only be about measured
 values, never about broken plumbing.
 """
 
-import pytest
-
 from repro.datagen import NetworkTraceConfig
 from repro.experiments import (
     effect_of_k_synthetic,

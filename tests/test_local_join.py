@@ -48,7 +48,7 @@ class TestLocalJoinCorrectness:
     def test_binary_query(self, pair_collections):
         query = build_query("Qb,b", [pair_collections[0], pair_collections[1], pair_collections[0]], P1, k=5)
         _, selected, intervals = _prepare(query)
-        results, _ = join_results = LocalTopKJoin(query).run(selected, intervals)
+        results, _ = LocalTopKJoin(query).run(selected, intervals)
         assert len(results) == 5
         assert all(results[i].score >= results[i + 1].score for i in range(len(results) - 1))
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import hypothesis.strategies as st
 from hypothesis import HealthCheck, given, settings
 
-from repro.core import collect_statistics, get_top_buckets, merge_top_k
+from repro.core import collect_statistics, get_top_buckets, merge_top_k, update_statistics
 from repro.core.bounds import BucketCombination
 from repro.core.distribution import distribute_top_buckets
 from repro.core.statistics import Granularity
@@ -284,3 +284,50 @@ class TestStatisticsProperties:
         assert 0 <= index < num_granules
         low, high = granularity.granule_range(index)
         assert low - 1e-6 <= timestamp <= high + 1e-6
+
+    @_SETTINGS
+    @given(
+        seed=st.integers(0, 2**16),
+        n_base=st.integers(2, 60),
+        n_appended=st.integers(1, 40),
+        num_granules=st.integers(1, 25),
+    )
+    def test_incremental_update_equals_collection_from_scratch(
+        self, seed, n_base, n_appended, num_granules
+    ):
+        """Appending intervals via update_statistics == collecting over the final data.
+
+        Appended intervals are drawn inside the base collection's time range so
+        that the from-scratch collection derives identical granule boundaries —
+        the comparison is then exact, across every granularity.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        starts = rng.uniform(0, 500, n_base)
+        lengths = rng.uniform(0, 80, n_base)
+        base = [
+            Interval(i, float(s), float(s + l))
+            for i, (s, l) in enumerate(zip(starts, lengths))
+        ]
+        base_collection = IntervalCollection("c", list(base))
+        low, high = base_collection.time_range()
+
+        span = high - low
+        offsets = rng.uniform(0, 1, n_appended)
+        fractions = rng.uniform(0, 1, n_appended)
+        appended = []
+        for index, (offset, fraction) in enumerate(zip(offsets, fractions)):
+            start = low + offset * span
+            end = start + fraction * (high - start)
+            appended.append(Interval(1000 + index, float(start), float(end)))
+
+        incremental = collect_statistics({"c": base_collection}, num_granules)
+        update_statistics(incremental, inserted={"c": appended})
+
+        final = IntervalCollection("c", base + appended)
+        scratch = collect_statistics({"c": final}, num_granules)
+
+        assert incremental.matrix("c").granularity == scratch.matrix("c").granularity
+        assert dict(incremental.matrix("c").counts) == dict(scratch.matrix("c").counts)
+        assert incremental.matrix("c").total() == n_base + n_appended

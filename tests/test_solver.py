@@ -4,7 +4,6 @@ import itertools
 
 import pytest
 
-from repro.query import QueryEdge, RTJQuery
 from repro.solver import (
     AggregateObjective,
     BranchAndBoundSolver,
@@ -12,7 +11,7 @@ from repro.solver import (
     EdgeObjective,
     VariableBox,
 )
-from repro.temporal import AverageScore, Interval, IntervalCollection, PredicateParams
+from repro.temporal import AverageScore, Interval, PredicateParams
 from repro.temporal.predicates import meets, starts
 
 P1 = PredicateParams.of(4, 16, 0, 10)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.temporal import Interval
-from repro.temporal.terms import EndpointVar, Term, constant, end_of, length_of, start_of
+from repro.temporal.terms import EndpointVar, constant, end_of, length_of, start_of
 
 
 @pytest.fixture()
