@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Fail CI when a benchmark regresses past a threshold vs. a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json \
+        [--baseline benchmarks/baseline/BENCH_baseline.json] [--threshold 2.0]
+
+Both files are ``pytest-benchmark --benchmark-json`` outputs.  Benchmarks are
+matched by ``fullname``; a benchmark whose mean time exceeds ``threshold``
+times its baseline mean fails the check.  Benchmarks present on only one side
+are reported but never fail (new benchmarks have no baseline yet; deleted ones
+no longer matter).  A missing baseline file skips the check entirely (exit 0)
+so the job stays green until a baseline is committed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline" / "BENCH_baseline.json"
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """Map benchmark fullname -> mean seconds from a pytest-benchmark JSON."""
+    data = json.loads(path.read_text())
+    return {
+        bench["fullname"]: float(bench["stats"]["mean"])
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="benchmark JSON of this run")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current mean > threshold * baseline mean (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; skipping regression check")
+        return 0
+    if not args.current.exists():
+        print(f"error: current benchmark JSON {args.current} not found")
+        return 2
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+
+    failures = []
+    for fullname, mean in sorted(current.items()):
+        reference = baseline.get(fullname)
+        if reference is None:
+            print(f"NEW      {fullname}: {mean:.4f}s (no baseline)")
+            continue
+        ratio = mean / reference if reference > 0 else float("inf")
+        status = "FAIL" if ratio > args.threshold else "ok"
+        print(
+            f"{status:8} {fullname}: {mean:.4f}s vs baseline {reference:.4f}s "
+            f"({ratio:.2f}x)"
+        )
+        if ratio > args.threshold:
+            failures.append((fullname, ratio))
+    for fullname in sorted(set(baseline) - set(current)):
+        print(f"MISSING  {fullname}: present in baseline only")
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed past "
+            f"{args.threshold:.1f}x the baseline"
+        )
+        return 1
+    print("\nno benchmark regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

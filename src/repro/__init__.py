@@ -20,6 +20,7 @@ from .plan import (
     get_algorithm,
 )
 from .query import QueryBuilder, RTJQuery
+from .streaming import StreamingCollection, StreamingTKIJ, replay_batches
 from .temporal import (
     AverageScore,
     Interval,
@@ -44,6 +45,9 @@ __all__ = [
     "get_algorithm",
     "QueryBuilder",
     "RTJQuery",
+    "StreamingCollection",
+    "StreamingTKIJ",
+    "replay_batches",
     "AverageScore",
     "Interval",
     "IntervalCollection",

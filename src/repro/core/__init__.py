@@ -13,10 +13,12 @@ from .local_join import LocalJoinConfig, LocalJoinStats, LocalTopKJoin
 from .merge import merge_top_k, run_merge_job
 from .operators import (
     DistributeOp,
+    FilteredDistributeOp,
     JoinOp,
     MergeOp,
     PhaseOperator,
     PhaseState,
+    PrunedJoinOp,
     StatisticsOp,
     TopBucketsOp,
     collections_by_name,
@@ -56,10 +58,12 @@ __all__ = [
     "merge_top_k",
     "run_merge_job",
     "DistributeOp",
+    "FilteredDistributeOp",
     "JoinOp",
     "MergeOp",
     "PhaseOperator",
     "PhaseState",
+    "PrunedJoinOp",
     "StatisticsOp",
     "TopBucketsOp",
     "collections_by_name",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Sequence
+from typing import Iterator, MutableMapping, Sequence
 
 from ..query.graph import RTJQuery
 from ..solver import AggregateObjective, BranchAndBoundSolver, DomainSet, EdgeObjective
@@ -135,16 +135,30 @@ class PairwiseBoundsCache:
     For a single edge the comparator ranges over a pair of boxes are exact per
     conjunct, so no branching is needed; results are memoised because the same
     bucket pair is shared by many combinations.
+
+    ``shared`` injects an externally-owned memo dictionary.  Bucket boxes are a
+    pure function of the granularity, so as long as the granule boundaries stay
+    fixed the same memo can be carried across many cache instances — the
+    streaming evaluator reuses one memo for every batch of a stream, making the
+    per-batch bound computation incremental too.
     """
 
-    def __init__(self, query: RTJQuery, space: CombinationSpace) -> None:
+    def __init__(
+        self,
+        query: RTJQuery,
+        space: CombinationSpace,
+        shared: MutableMapping[tuple[int, BucketKey, BucketKey], tuple[float, float]]
+        | None = None,
+    ) -> None:
         self.query = query
         self.space = space
         self._edge_objectives = [
             EdgeObjective.from_edge(edge.source, edge.target, edge.predicate)
             for edge in query.edges
         ]
-        self._cache: dict[tuple[int, BucketKey, BucketKey], tuple[float, float]] = {}
+        self._cache: MutableMapping[
+            tuple[int, BucketKey, BucketKey], tuple[float, float]
+        ] = shared if shared is not None else {}
         self.pairs_computed = 0
 
     def edge_objective(self, edge_index: int) -> EdgeObjective:
@@ -180,14 +194,22 @@ class PairwiseBoundsCache:
 
 @dataclass
 class BoundsEstimator:
-    """Computes loose (pairwise) and tight (joint) bounds of bucket combinations."""
+    """Computes loose (pairwise) and tight (joint) bounds of bucket combinations.
+
+    ``shared_pairwise`` optionally injects a persistent memo for the pairwise
+    bounds (see :class:`PairwiseBoundsCache`); sound only while the granule
+    boundaries of the statistics stay fixed.
+    """
 
     query: RTJQuery
     space: CombinationSpace
     solver: BranchAndBoundSolver = field(default_factory=BranchAndBoundSolver)
+    shared_pairwise: MutableMapping[
+        tuple[int, BucketKey, BucketKey], tuple[float, float]
+    ] | None = None
 
     def __post_init__(self) -> None:
-        self.pairwise = PairwiseBoundsCache(self.query, self.space)
+        self.pairwise = PairwiseBoundsCache(self.query, self.space, self.shared_pairwise)
         self._objective = AggregateObjective(
             edges=tuple(
                 EdgeObjective.from_edge(edge.source, edge.target, edge.predicate)

@@ -95,6 +95,7 @@ class LocalTopKJoin:
     def __init__(self, query: RTJQuery, config: LocalJoinConfig | None = None) -> None:
         self.query = query
         self.config = config or LocalJoinConfig()
+        self._floor = 0.0
         self._num_edges = len(query.edges)
         self._join_order = query.join_order()
         # Edges resolved when each join-order vertex is bound.
@@ -129,19 +130,31 @@ class LocalTopKJoin:
         combinations: Sequence[BucketCombination],
         intervals: Mapping[VertexBucket, Sequence[Interval]],
         k: int | None = None,
+        initial_threshold: float = 0.0,
     ) -> tuple[list[ResultTuple], LocalJoinStats]:
-        """Top-k results over the given combinations and their bucket contents."""
+        """Top-k results over the given combinations and their bucket contents.
+
+        ``initial_threshold`` seeds the early-termination score floor before the
+        local heap fills: tuples that cannot score *strictly above* it are
+        pruned from the start.  Callers that merge the returned list into an
+        existing top-k whose k-th score is the floor (the streaming evaluator)
+        lose nothing but boundary ties, which the merge ignores anyway.  The
+        floor is inert (0.0) for plain one-shot evaluation and disabled with
+        ``early_termination``.
+        """
         k = k if k is not None else self.query.k
         heap = _TopKHeap(k)
         stats = LocalJoinStats()
         index_cache: dict[VertexBucket, ThresholdIndex] = {}
+        self._floor = initial_threshold if self.config.early_termination else 0.0
 
         ordered = sorted(combinations, key=lambda c: (-c.upper_bound, c.key()))
         for combination in ordered:
+            threshold = max(self._floor, heap.kth_score if heap.is_full else 0.0)
             if (
                 self.config.early_termination
-                and heap.is_full
-                and combination.upper_bound <= heap.kth_score
+                and (heap.is_full or self._floor > 0.0)
+                and combination.upper_bound <= threshold
             ):
                 stats.combinations_skipped += len(ordered) - stats.combinations_processed
                 break
@@ -200,8 +213,8 @@ class LocalTopKJoin:
 
         vertex = self._join_order[depth]
         connecting = self._edges_at[depth]
-        pruning = self.config.early_termination and heap.is_full
-        threshold = heap.kth_score if pruning else 0.0
+        pruning = self.config.early_termination and (heap.is_full or self._floor > 0.0)
+        threshold = max(self._floor, heap.kth_score) if pruning else 0.0
         candidates = self._candidates(
             combination, per_vertex, assignment, edge_scores, vertex, connecting,
             edge_ubs, threshold, index_cache,

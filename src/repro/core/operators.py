@@ -16,7 +16,7 @@ import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 from ..mapreduce import (
     FirstElementPartitioner,
@@ -47,7 +47,9 @@ __all__ = [
     "StatisticsOp",
     "TopBucketsOp",
     "DistributeOp",
+    "FilteredDistributeOp",
     "JoinOp",
+    "PrunedJoinOp",
     "MergeOp",
     "run_pipeline",
     "collections_by_name",
@@ -84,6 +86,9 @@ class PhaseState:
     local_join_stats: LocalJoinStats = field(default_factory=LocalJoinStats)
     results: list[ResultTuple] = field(default_factory=list)
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    pruning: dict[str, int] = field(default_factory=dict)
+    """Work-avoidance counters written by the pruning operator variants
+    (``combinations_kept``/``combinations_pruned``/``intervals_skipped``)."""
 
     def per_reducer_kth_score(self) -> dict[int, float | None]:
         """Score of each reducer's local k-th result (``None`` for empty reducers)."""
@@ -179,6 +184,32 @@ class DistributeOp(PhaseOperator):
         )
 
 
+@dataclass
+class FilteredDistributeOp(DistributeOp):
+    """Phase (c) over a pruned candidate subset of ``Ω_k,S``.
+
+    ``keep`` decides per combination whether it can still contribute results the
+    caller does not already hold — the streaming evaluator passes a predicate
+    keeping only combinations that touch freshly-ingested buckets *and* whose
+    score upper bound can crack the current top-k.  Kept/pruned counts land in
+    ``state.pruning`` so reports and benchmarks can assert the avoided work.
+    """
+
+    keep: Callable[[BucketCombination], bool] | None = None
+
+    name = "distribution"
+
+    def run(self, state: PhaseState) -> None:
+        assert state.top_buckets is not None, (
+            "TopBucketsOp must run before FilteredDistributeOp"
+        )
+        selected = state.top_buckets.selected
+        kept = selected if self.keep is None else [c for c in selected if self.keep(c)]
+        state.pruning["combinations_kept"] = len(kept)
+        state.pruning["combinations_pruned"] = len(selected) - len(kept)
+        state.assignment = assign(self.assigner, kept, state.num_reducers)
+
+
 # ---------------------------------------------------------------- phase (d)
 class _JoinMapper(Mapper):
     """Routes each interval to every reducer that was assigned its bucket."""
@@ -206,11 +237,16 @@ class _JoinReducer(Reducer):
     """Collects its buckets, then runs the local top-k join in ``cleanup``."""
 
     def __init__(
-        self, query: RTJQuery, assignment: WorkloadAssignment, config: LocalJoinConfig
+        self,
+        query: RTJQuery,
+        assignment: WorkloadAssignment,
+        config: LocalJoinConfig,
+        initial_threshold: float = 0.0,
     ) -> None:
         self._query = query
         self._assignment = assignment
         self._config = config
+        self._initial_threshold = initial_threshold
         self._reducer_id: int | None = None
         self._intervals: dict[tuple[str, BucketKey], list[Interval]] = {}
 
@@ -227,7 +263,12 @@ class _JoinReducer(Reducer):
         if not combinations:
             return
         join = LocalTopKJoin(self._query, self._config)
-        results, stats = join.run(combinations, self._intervals, k=self._query.k)
+        results, stats = join.run(
+            combinations,
+            self._intervals,
+            k=self._query.k,
+            initial_threshold=self._initial_threshold,
+        )
         self.counters.increment("join.tuples_scored", stats.tuples_scored)
         self.counters.increment("join.candidates_examined", stats.candidates_examined)
         self.counters.increment("join.combinations_processed", stats.combinations_processed)
@@ -238,9 +279,16 @@ class _JoinReducer(Reducer):
 @dataclass
 class JoinOp(PhaseOperator):
     """Phase (d): mappers route intervals to their assigned reducers, reducers
-    run the RTJ query locally and emit their top-k."""
+    run the RTJ query locally and emit their top-k.
+
+    ``initial_threshold`` seeds every reducer's early-termination floor (see
+    :meth:`LocalTopKJoin.run`); the streaming evaluator passes its persistent
+    k-th score so reducers never enumerate tuples that cannot improve the
+    carried answer.
+    """
 
     join_config: LocalJoinConfig = field(default_factory=LocalJoinConfig)
+    initial_threshold: float = 0.0
 
     name = "join"
 
@@ -248,18 +296,7 @@ class JoinOp(PhaseOperator):
         assert state.statistics is not None and state.assignment is not None, (
             "StatisticsOp and DistributeOp must run before JoinOp"
         )
-        query, statistics, assignment = state.query, state.statistics, state.assignment
-
-        bucket_of: dict[str, dict[int, BucketKey]] = {}
-        input_pairs = []
-        for vertex in query.vertices:
-            collection = query.collections[vertex]
-            matrix = statistics.matrix(collection.name)
-            per_interval: dict[int, BucketKey] = {}
-            for interval in collection:
-                per_interval[interval.uid] = matrix.granularity.bucket_of(interval)
-                input_pairs.append((vertex, interval))
-            bucket_of[vertex] = per_interval
+        assignment = state.assignment
 
         reducers_of: dict[tuple[str, BucketKey], list[int]] = {}
         for reducer, buckets in assignment.buckets_per_reducer.items():
@@ -268,11 +305,18 @@ class JoinOp(PhaseOperator):
         routing: dict[tuple[str, BucketKey], tuple[int, ...]] = {
             item: tuple(reducers) for item, reducers in reducers_of.items()
         }
+        bucket_of, input_pairs = self._route_inputs(state, routing)
 
         job = MapReduceJob(
             name="tkij-join",
             mapper_factory=partial(_JoinMapper, bucket_of, routing),
-            reducer_factory=partial(_JoinReducer, query, assignment, self.join_config),
+            reducer_factory=partial(
+                _JoinReducer,
+                state.query,
+                assignment,
+                self.join_config,
+                self.initial_threshold,
+            ),
             partitioner=FirstElementPartitioner(),
             num_reducers=state.num_reducers,
         )
@@ -289,6 +333,63 @@ class JoinOp(PhaseOperator):
         state.local_results = local_results
         state.join_metrics = job_result.metrics
         state.local_join_stats = merged_stats
+
+    def _route_inputs(
+        self, state: PhaseState, routing: Mapping[tuple[str, BucketKey], tuple[int, ...]]
+    ) -> tuple[dict[str, dict[int, BucketKey]], list[tuple[str, Interval]]]:
+        """Per-interval bucket index plus the ``(vertex, interval)`` map input.
+
+        The base operator feeds every interval of every bound collection to the
+        map phase (mappers drop the ones whose bucket no reducer was assigned).
+        """
+        bucket_of: dict[str, dict[int, BucketKey]] = {}
+        input_pairs: list[tuple[str, Interval]] = []
+        for vertex in state.query.vertices:
+            collection = state.query.collections[vertex]
+            granularity = state.statistics.matrix(collection.name).granularity
+            per_interval: dict[int, BucketKey] = {}
+            for interval in collection:
+                per_interval[interval.uid] = granularity.bucket_of(interval)
+                input_pairs.append((vertex, interval))
+            bucket_of[vertex] = per_interval
+        return bucket_of, input_pairs
+
+
+@dataclass
+class PrunedJoinOp(JoinOp):
+    """Phase (d) variant that never ships intervals of unassigned bucket pairs.
+
+    The base :class:`JoinOp` routes every interval through the map phase and
+    lets mappers drop the unassigned ones; when the assignment covers only a
+    small candidate subset (the streaming case), that wastes map work and task
+    payload on data that cannot reach any reducer.  This variant filters the
+    map input to intervals whose ``(vertex, bucket)`` pair some reducer was
+    actually assigned, recording the skipped count in
+    ``state.pruning["intervals_skipped"]``.
+    """
+
+    name = "join"
+
+    def _route_inputs(
+        self, state: PhaseState, routing: Mapping[tuple[str, BucketKey], tuple[int, ...]]
+    ) -> tuple[dict[str, dict[int, BucketKey]], list[tuple[str, Interval]]]:
+        bucket_of: dict[str, dict[int, BucketKey]] = {}
+        input_pairs: list[tuple[str, Interval]] = []
+        skipped = 0
+        for vertex in state.query.vertices:
+            collection = state.query.collections[vertex]
+            granularity = state.statistics.matrix(collection.name).granularity
+            per_interval: dict[int, BucketKey] = {}
+            for interval in collection:
+                bucket = granularity.bucket_of(interval)
+                if (vertex, bucket) not in routing:
+                    skipped += 1
+                    continue
+                per_interval[interval.uid] = bucket
+                input_pairs.append((vertex, interval))
+            bucket_of[vertex] = per_interval
+        state.pruning["intervals_skipped"] = skipped
+        return bucket_of, input_pairs
 
 
 # ---------------------------------------------------------------- phase (e)

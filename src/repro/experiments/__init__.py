@@ -14,6 +14,7 @@ from .network_figures import (
     network_collections,
 )
 from .scalability_figures import figure11_scalability, statistics_collection_times
+from .streaming_figures import figure_streaming
 from .synthetic_figures import (
     effect_of_k_synthetic,
     figure7_score_distribution,
@@ -35,6 +36,7 @@ __all__ = [
     "network_collections",
     "figure11_scalability",
     "statistics_collection_times",
+    "figure_streaming",
     "effect_of_k_synthetic",
     "figure7_score_distribution",
     "figure8_workload_distribution",

@@ -25,6 +25,7 @@ from .network_figures import (
     figure14_network_effect_k,
 )
 from .scalability_figures import figure11_scalability, statistics_collection_times
+from .streaming_figures import figure_streaming
 from .synthetic_figures import (
     effect_of_k_synthetic,
     figure7_score_distribution,
@@ -96,6 +97,16 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
         sizes=args.sizes or (1_000, 5_000, 20_000),
         num_granules=args.granules,
         **_backend_kwargs(args),
+    ),
+    # Streaming: ingest the workload batch by batch through tkij-streaming,
+    # comparing each batch against full recomputation.
+    "streaming": lambda args: figure_streaming(
+        batch_counts=args.stream_batches or (5, 10),
+        batch_sizes=args.stream_batch_size or (40,),
+        query_name=args.query,
+        k=args.k,
+        num_granules=args.granules,
+        **_run_kwargs(args),
     ),
     # Generic registry dispatch: one query, any registered algorithm.
     "run": lambda args: run_single_query(
@@ -169,6 +180,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(QUERIES),
         default="Qo,m",
         help="Table 1 query evaluated by the 'run' experiment",
+    )
+    parser.add_argument(
+        "--stream-batches",
+        type=_sizes,
+        default=None,
+        help="comma-separated batch counts swept by the 'streaming' experiment",
+    )
+    parser.add_argument(
+        "--stream-batch-size",
+        type=_sizes,
+        default=None,
+        help="comma-separated per-collection batch sizes for the 'streaming' experiment",
     )
     parser.add_argument(
         "--backend",

@@ -153,7 +153,14 @@ class MapReduceEngine:
     # ------------------------------------------------------------------ helpers
     @staticmethod
     def _split(records: Sequence[KeyValue], num_splits: int) -> list[list[KeyValue]]:
-        """Round-robin the input into ``num_splits`` splits (empty splits allowed)."""
+        """Round-robin the input into at most ``num_splits`` non-empty splits.
+
+        Fewer records than splits yield one single-record split per record, and
+        an empty input yields no splits at all — small streaming batches would
+        otherwise dispatch (and, on the process backend, pickle) map tasks that
+        carry no work.
+        """
+        num_splits = min(num_splits, len(records))
         splits: list[list[KeyValue]] = [[] for _ in range(num_splits)]
         for index, record in enumerate(records):
             splits[index % num_splits].append(record)

@@ -95,6 +95,17 @@ class StatisticsCache:
         """Drop every cached entry (counters are kept)."""
         self._entries.clear()
 
+    def invalidate(
+        self, collections: Mapping[str, IntervalCollection], num_granules: int
+    ) -> bool:
+        """Drop the entry of one (dataset, granularity), returning whether it existed.
+
+        Used when a caller *wants* phase (a) recollected — e.g. a streaming
+        replan after the dataset outgrew the granule boundaries the cached
+        matrices were built on.
+        """
+        return self._entries.pop(self.key_for(collections, num_granules), None) is not None
+
     # ------------------------------------------------------------------ lookup
     def lookup(
         self, collections: Mapping[str, IntervalCollection], num_granules: int
@@ -219,9 +230,20 @@ class ExecutionContext:
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     backend: ExecutionBackend | None = None
     statistics: StatisticsCache = field(default_factory=StatisticsCache)
+    streams: dict[object, object] = field(default_factory=dict)
+    """Per-stream evaluator state, keyed by the owning algorithm (opaque to the
+    context; see :meth:`stream_state`).  Streaming algorithms park their
+    persistent top-k and incremental bookkeeping here so it lives exactly as
+    long as the statistics cache it depends on."""
     _owned_backend: ExecutionBackend | None = field(
         default=None, repr=False, compare=False
     )
+
+    def stream_state(self, key: object, factory: Callable[[], object]) -> object:
+        """The per-stream state stored under ``key`` (created via ``factory`` once)."""
+        if key not in self.streams:
+            self.streams[key] = factory()
+        return self.streams[key]
 
     def get_backend(self) -> ExecutionBackend:
         """The shared execution backend (created from the cluster config on first use)."""

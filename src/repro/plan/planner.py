@@ -94,6 +94,12 @@ class AutoPlanner:
     """Combination spaces at most this large get joint (tight) bounds outright."""
     skew_threshold: float = 4.0
     """Bucket skew above which finer granularities are favoured."""
+    replan_cost_factor: float = 2.0
+    """Full replan threshold: replan once the projected incremental cost of the
+    next batches exceeds this multiple of a fresh phase (a)+(b) pass."""
+    replan_out_of_range_fraction: float = 0.25
+    """Fraction of a batch outside the cached granule range that forces a replan
+    (clamped border buckets inflate bounds and erode streaming selectivity)."""
 
     def plan(
         self, query: RTJQuery, context: ExecutionContext
@@ -146,6 +152,54 @@ class AutoPlanner:
             reasons=reasons,
         )
         return knobs, explanation
+
+    # --------------------------------------------------------------- streaming
+    def should_replan(
+        self,
+        *,
+        base_size: int,
+        appended_since_plan: int,
+        batch_size: int,
+        out_of_range: int = 0,
+    ) -> tuple[bool, str]:
+        """Decide between incremental evaluation and a full replan for one batch.
+
+        Batch-size-aware cost term: a full replan costs one fresh phase
+        (a)+(b) pass over ``total = base + appended`` intervals, while an
+        incremental batch costs roughly ``batch_size * (1 + growth)`` — the
+        batch itself plus candidate work that degrades as the dataset outgrows
+        the granule boundaries the plan was built on (appended intervals clamp
+        into ever-fatter border buckets, so ``growth = appended/base`` measures
+        the lost selectivity).  Projected over a dataset-doubling horizon of
+        ``total/batch_size`` batches, incremental evaluation stays cheaper
+        while ``1 + growth < replan_cost_factor``; past that the amortised
+        replan wins, which yields the classic doubling schedule (O(log n)
+        replans over an append-only stream).  A batch that mostly falls outside
+        the cached granule range forces the replan immediately — clamped
+        statistics cannot discriminate such data at all.
+        """
+        if base_size <= 0:
+            return True, "no base plan yet: full evaluation required"
+        if (
+            batch_size > 0
+            and out_of_range / batch_size > self.replan_out_of_range_fraction
+        ):
+            return True, (
+                f"replan: {out_of_range}/{batch_size} batch intervals fall outside "
+                f"the cached granule range (> {self.replan_out_of_range_fraction:.0%})"
+            )
+        growth = appended_since_plan / base_size
+        if 1.0 + growth >= self.replan_cost_factor:
+            return True, (
+                f"replan: appended {appended_since_plan} intervals on a base of "
+                f"{base_size} (growth {growth:.2f}); incremental cost "
+                f"~batch*(1+growth) now exceeds an amortised fresh pass "
+                f"(factor {self.replan_cost_factor})"
+            )
+        return False, (
+            f"incremental: growth {growth:.2f} and batch {batch_size} keep "
+            f"per-batch cost under {self.replan_cost_factor}x of an amortised replan"
+        )
 
     # ----------------------------------------------------------------- choices
     def _estimated_combinations(

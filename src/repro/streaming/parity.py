@@ -1,0 +1,45 @@
+"""Tie-aware equality of top-k answers.
+
+A top-k answer is only unique up to ties at the k-th score: every heap in the
+evaluation stack (naive oracle included) keeps a processing-order-dependent
+subset of the tuples tied exactly at the boundary, so two exact evaluators can
+legitimately return different uid sets *at* the k-th score while agreeing
+everywhere above it.  ``equivalent_top_k`` is the correctness notion the
+streaming parity tests, the figure driver and the benchmarks all use: equal
+score vectors, and identical tuples strictly above the k-th score.  For
+workloads without boundary ties it degenerates to exact equality.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..query.graph import ResultTuple
+
+__all__ = ["equivalent_top_k"]
+
+_DIGITS = 9
+
+
+def equivalent_top_k(
+    left: Sequence[ResultTuple], right: Sequence[ResultTuple]
+) -> bool:
+    """Whether two top-k answers are equal up to ties at the k-th score."""
+    left_scores = [round(result.score, _DIGITS) for result in left]
+    right_scores = [round(result.score, _DIGITS) for result in right]
+    if left_scores != right_scores:
+        return False
+    if not left:
+        return True
+    boundary = left_scores[-1]
+    above_left = {
+        (result.uids, score)
+        for result, score in zip(left, left_scores)
+        if score > boundary
+    }
+    above_right = {
+        (result.uids, score)
+        for result, score in zip(right, right_scores)
+        if score > boundary
+    }
+    return above_left == above_right

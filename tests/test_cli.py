@@ -32,9 +32,17 @@ class TestParser:
     def test_every_registered_experiment_has_a_driver(self):
         expected = {
             "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "effect-k", "statistics", "run",
+            "effect-k", "statistics", "run", "streaming",
         }
         assert set(EXPERIMENTS) == expected
+
+    def test_stream_batch_options(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["streaming", "--stream-batches", "5,10", "--stream-batch-size", "40"]
+        )
+        assert args.stream_batches == (5, 10)
+        assert args.stream_batch_size == (40,)
 
     def test_algorithm_and_plan_options(self):
         parser = build_parser()

@@ -107,6 +107,22 @@ class TestEngine:
         counts = dict(result.outputs)
         assert counts == {"a": 3, "b": 2, "c": 4}
 
+    def test_small_input_skips_empty_splits(self):
+        # Fewer records than mappers: no empty map task is dispatched (small
+        # streaming batches would otherwise pay task overhead for no work).
+        engine = MapReduceEngine(ClusterConfig(num_mappers=8))
+        documents = [(i, "w") for i in range(3)]
+        result = engine.run(wordcount_job(), documents)
+        assert len(result.metrics.map_tasks) == 3
+        assert all(task.input_records == 1 for task in result.metrics.map_tasks)
+        assert dict(result.outputs) == {"w": 3}
+
+    def test_empty_input_dispatches_no_map_tasks(self):
+        engine = MapReduceEngine(ClusterConfig(num_mappers=4))
+        result = engine.run(wordcount_job(), [])
+        assert result.metrics.map_tasks == []
+        assert result.outputs == []
+
     def test_counters_aggregated_across_tasks(self):
         engine = MapReduceEngine(ClusterConfig(num_mappers=3))
         documents = [(i, "w w w") for i in range(6)]

@@ -35,8 +35,8 @@ def make_context(backend: str = "serial") -> ExecutionContext:
 
 class TestRegistry:
     def test_registry_exposes_tkij_and_three_baselines(self):
-        assert {"tkij", "naive", "allmatrix", "rccis"} <= set(REGISTRY)
-        assert len(REGISTRY) >= 4
+        assert {"tkij", "tkij-streaming", "naive", "allmatrix", "rccis"} <= set(REGISTRY)
+        assert len(REGISTRY) >= 5
 
     def test_available_algorithms_sorted(self):
         assert available_algorithms() == sorted(REGISTRY)
@@ -57,6 +57,9 @@ class TestRegistry:
 # algorithms run the P1 parameters on the shared tiny collections.
 PARITY_QUERY = {
     "tkij": ("Qo,m", "P1"),
+    # On static collections the streaming evaluator degrades to one full
+    # evaluation, so the oracle parity probe applies to it unchanged.
+    "tkij-streaming": ("Qo,m", "P1"),
     "naive": ("Qo,m", "P1"),
     "allmatrix": ("Qb,b", "PB"),
     "rccis": ("Qo,m", "PB"),

@@ -1,0 +1,340 @@
+"""Tests for the streaming layer: collections, incremental evaluation, parity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import naive_top_k
+from repro.datagen import SyntheticConfig, generate_collections
+from repro.experiments import build_query
+from repro.mapreduce import ClusterConfig
+from repro.plan import AutoPlanner, ExecutionContext, get_algorithm
+from repro.streaming import (
+    CandidateFilter,
+    StreamingCollection,
+    equivalent_top_k,
+    replay_batches,
+)
+from repro.temporal import Interval, IntervalCollection
+
+
+def make_context(backend: str = "serial") -> ExecutionContext:
+    return ExecutionContext(
+        cluster=ClusterConfig(num_reducers=4, num_mappers=2, backend=backend, max_workers=2)
+    )
+
+
+def result_key(results):
+    return [(r.uids, round(r.score, 9)) for r in results]
+
+
+@pytest.fixture(scope="module")
+def stream_collections() -> list[IntervalCollection]:
+    """Three deterministic collections small enough for the naive oracle."""
+    config = SyntheticConfig(size=36, start_max=700.0, length_max=60.0)
+    return list(generate_collections(3, config, seed=404).values())
+
+
+class TestStreamingCollection:
+    def test_ingest_is_invisible_until_commit(self):
+        stream = StreamingCollection("c", [Interval(0, 0.0, 5.0)])
+        stream.ingest([Interval(1, 1.0, 4.0), Interval(2, 2.0, 6.0)])
+        assert len(stream) == 1
+        assert stream.pending_batches == 1
+        batch = stream.commit_next()
+        assert len(batch) == 2
+        assert batch.index == 0
+        assert len(stream) == 3
+        assert stream.pending_batches == 0
+        assert stream.log.total_appended == 2
+
+    def test_commit_without_pending_returns_none(self):
+        stream = StreamingCollection("c", [Interval(0, 0.0, 5.0)])
+        assert stream.commit_next() is None
+
+    def test_duplicate_uid_rejected_at_ingest(self):
+        stream = StreamingCollection("c", [Interval(0, 0.0, 5.0)])
+        with pytest.raises(ValueError, match="uid 0"):
+            stream.ingest([Interval(0, 1.0, 2.0)])
+        # Duplicates across staged (not yet committed) batches are caught too.
+        stream.ingest([Interval(1, 1.0, 2.0)])
+        with pytest.raises(ValueError, match="uid 1"):
+            stream.ingest([Interval(1, 3.0, 4.0)])
+
+    def test_rejected_ingest_leaves_stream_retryable(self):
+        stream = StreamingCollection("c", [Interval(0, 0.0, 5.0)])
+        with pytest.raises(ValueError, match="uid 0"):
+            stream.ingest([Interval(1, 1.0, 2.0), Interval(0, 3.0, 4.0)])
+        assert stream.pending_batches == 0
+        # The valid interval of the rejected batch was not leaked into the uid
+        # set: resubmitting the corrected batch succeeds.
+        assert stream.ingest([Interval(1, 1.0, 2.0), Interval(2, 3.0, 4.0)]) == 2
+        assert stream.pending_batches == 1
+
+    def test_numpy_views_follow_commits(self):
+        stream = StreamingCollection("c", [Interval(0, 0.0, 5.0)])
+        assert stream.starts.tolist() == [0.0]
+        stream.ingest([Interval(1, 1.0, 4.0)])
+        stream.commit_next()
+        assert stream.starts.tolist() == [0.0, 1.0]
+        assert stream.time_range() == (0.0, 5.0)
+
+    def test_replay_batches_roundtrip(self, stream_collections):
+        original = stream_collections[0]
+        stream = replay_batches(original, 5)
+        assert len(stream) == 0
+        assert stream.pending_batches == 5
+        while stream.commit_next() is not None:
+            pass
+        assert [i.uid for i in stream] == [i.uid for i in original]
+        assert len(stream.log) == 5
+
+    def test_from_collection_seeds_contents(self, stream_collections):
+        stream = StreamingCollection.from_collection(stream_collections[0])
+        assert len(stream) == len(stream_collections[0])
+        assert stream.pending_batches == 0
+
+
+class TestCandidateFilter:
+    def _combo(self, upper_bound: float):
+        from repro.core import BucketCombination
+
+        return BucketCombination(
+            vertices=("x1", "x2"),
+            buckets=((0, 0), (1, 1)),
+            nb_res=4,
+            lower_bound=0.0,
+            upper_bound=upper_bound,
+        )
+
+    def test_clean_combination_pruned(self):
+        keep = CandidateFilter({"x1": frozenset({(3, 3)})}, threshold=None)
+        assert keep(self._combo(1.0)) is False
+        assert (keep.clean_skipped, keep.bound_pruned, keep.kept) == (1, 0, 0)
+
+    def test_dirty_combination_kept_without_threshold(self):
+        keep = CandidateFilter({"x1": frozenset({(0, 0)})}, threshold=None)
+        assert keep(self._combo(0.2)) is True
+        assert keep.kept == 1
+
+    def test_bound_pruned_at_or_below_threshold(self):
+        keep = CandidateFilter({"x1": frozenset({(0, 0)})}, threshold=0.5)
+        assert keep(self._combo(0.5)) is False  # ties cannot improve the top-k
+        assert keep(self._combo(0.4)) is False
+        assert keep(self._combo(0.6)) is True
+        assert (keep.clean_skipped, keep.bound_pruned, keep.kept) == (0, 2, 1)
+
+
+class TestStaticFallback:
+    def test_static_collections_single_full_evaluation(self, stream_collections):
+        query = build_query("Qo,m", stream_collections, "P1", k=10)
+        with make_context() as context:
+            report = get_algorithm("tkij-streaming").run(query, context, num_granules=5)
+        assert equivalent_top_k(report.results, naive_top_k(query))
+        raw = report.raw
+        assert raw.batches_ingested == 1
+        assert raw.replans == 0
+        assert raw.batches[0].replanned is False
+
+    def test_rerun_without_new_batches_reuses_answer(self, stream_collections):
+        query = build_query("Qo,m", stream_collections, "P1", k=10)
+        with make_context() as context:
+            algorithm = get_algorithm("tkij-streaming")
+            first = algorithm.run(query, context, num_granules=5)
+            second = algorithm.run(query, context, num_granules=5)
+        assert result_key(second.results) == result_key(first.results)
+        # No new batch: the second run processed no ticks at all.
+        assert second.raw.batches == []
+        assert second.elapsed_seconds == 0.0
+
+    def test_empty_first_batch_rejected(self):
+        streams = [StreamingCollection(name) for name in ("a", "b", "c")]
+        query = build_query("Qo,m", streams, "P1", k=5)
+        with make_context() as context:
+            with pytest.raises(ValueError, match="no intervals yet"):
+                get_algorithm("tkij-streaming").run(query, context)
+
+    def test_unknown_knobs_rejected(self, stream_collections):
+        query = build_query("Qo,m", stream_collections, "P1", k=10)
+        with make_context() as context:
+            algorithm = get_algorithm("tkij-streaming")
+            with pytest.raises(ValueError, match="plan mode"):
+                algorithm.plan(query, context, mode="psychic")
+            with pytest.raises(ValueError, match="strategy"):
+                algorithm.plan(query, context, strategy="psychic")
+            with pytest.raises(ValueError, match="assigner"):
+                algorithm.plan(query, context, assigner="psychic")
+
+
+class TestPerBatchParity:
+    """Acceptance: per-batch incremental top-k equals full recomputation."""
+
+    NUM_BATCHES = 4
+
+    def _chunks(self, collections, num_batches):
+        return {
+            c.name: [
+                c.intervals[start : start + -(-len(c.intervals) // num_batches)]
+                for start in range(
+                    0, len(c.intervals), -(-len(c.intervals) // num_batches)
+                )
+            ]
+            for c in collections
+        }
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_matches_full_recompute_and_oracle_each_batch(
+        self, backend, stream_collections
+    ):
+        chunks = self._chunks(stream_collections, self.NUM_BATCHES)
+        streams = [StreamingCollection(c.name) for c in stream_collections]
+        query = build_query("Qo,m", streams, "P1", k=12)
+        algorithm = get_algorithm("tkij-streaming")
+        static = get_algorithm("tkij")
+        incremental_batches = 0
+        pruned_pairs = 0
+        with make_context(backend) as context, make_context(backend) as full_context:
+            for tick in range(self.NUM_BATCHES):
+                for stream in streams:
+                    stream.ingest(chunks[stream.name][tick])
+                report = algorithm.run(query, context, num_granules=5)
+                full = static.run(query, full_context, num_granules=5)
+                assert equivalent_top_k(report.results, full.results), (
+                    f"batch {tick} diverged from full recomputation"
+                )
+                assert equivalent_top_k(report.results, naive_top_k(query)), (
+                    f"batch {tick} diverged from the naive oracle"
+                )
+                batch = report.raw.batches[-1]
+                if not batch.replanned:
+                    incremental_batches += 1
+                    pruned_pairs += batch.pruned_pairs
+        # The schedule must actually exercise the incremental path, and the
+        # incremental path must actually prune (all-old combinations at least).
+        assert incremental_batches > 0
+        assert pruned_pairs > 0
+
+    def test_serial_and_thread_agree_per_batch(self, stream_collections):
+        outcomes = []
+        for backend in ("serial", "thread"):
+            chunks = self._chunks(stream_collections, self.NUM_BATCHES)
+            streams = [StreamingCollection(c.name) for c in stream_collections]
+            query = build_query("Qo,m", streams, "P1", k=12)
+            per_batch = []
+            with make_context(backend) as context:
+                for tick in range(self.NUM_BATCHES):
+                    for stream in streams:
+                        stream.ingest(chunks[stream.name][tick])
+                    report = get_algorithm("tkij-streaming").run(
+                        query, context, num_granules=5
+                    )
+                    per_batch.append(result_key(report.results))
+            outcomes.append(per_batch)
+        assert outcomes[0] == outcomes[1]
+
+
+class TestReplanPolicy:
+    def test_initial_state_requires_full_evaluation(self):
+        replan, reason = AutoPlanner().should_replan(
+            base_size=0, appended_since_plan=0, batch_size=10
+        )
+        assert replan
+        assert "no base plan" in reason
+
+    def test_doubling_schedule(self):
+        planner = AutoPlanner()
+        stay, _ = planner.should_replan(
+            base_size=100, appended_since_plan=40, batch_size=20
+        )
+        replan, reason = planner.should_replan(
+            base_size=100, appended_since_plan=100, batch_size=20
+        )
+        assert stay is False
+        assert replan is True
+        assert "growth" in reason
+
+    def test_out_of_range_batch_forces_replan(self):
+        replan, reason = AutoPlanner().should_replan(
+            base_size=1000, appended_since_plan=10, batch_size=10, out_of_range=5
+        )
+        assert replan is True
+        assert "outside" in reason
+
+    def test_streaming_survives_time_range_extension(self, stream_collections):
+        # Batches shifted far past the original range force clamped statistics;
+        # the policy replans and the answer stays equivalent to the oracle.
+        base = stream_collections[0]
+        streams = [StreamingCollection(c.name) for c in stream_collections]
+        query = build_query("Qo,m", streams, "P1", k=10)
+        algorithm = get_algorithm("tkij-streaming")
+        with make_context() as context:
+            for tick in range(2):
+                for stream, source in zip(streams, stream_collections):
+                    intervals = source.intervals[tick * 18 : (tick + 1) * 18]
+                    if tick == 1:
+                        span = base.total_span()
+                        intervals = [i.shift(5.0 * span) for i in intervals]
+                        intervals = [
+                            Interval(i.uid + 10_000, i.start, i.end, i.payload)
+                            for i in intervals
+                        ]
+                    stream.ingest(intervals)
+                report = algorithm.run(query, context, num_granules=5)
+                assert equivalent_top_k(report.results, naive_top_k(query))
+            assert report.raw.replans >= 1
+
+
+class TestStreamStateIsolation:
+    def test_distinct_ks_do_not_share_state(self, stream_collections):
+        algorithm = get_algorithm("tkij-streaming")
+        with make_context() as context:
+            query_a = build_query("Qo,m", stream_collections, "P1", k=5)
+            query_b = build_query("Qo,m", stream_collections, "P1", k=15)
+            report_a = algorithm.run(query_a, context, num_granules=5)
+            report_b = algorithm.run(query_b, context, num_granules=5)
+        assert len(report_a.results) == 5
+        assert len(report_b.results) == 15
+        assert len(context.streams) == 2
+
+
+# ----------------------------------------------------------------- property
+_PROPERTY_CONFIG = SyntheticConfig(size=24, start_max=500.0, length_max=50.0)
+_PROPERTY_COLLECTIONS = list(
+    generate_collections(3, _PROPERTY_CONFIG, seed=505).values()
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_any_batch_partitioning_matches_single_shot(data):
+    """Satellite: any batch partitioning yields the same top-k as one-shot TKIJ."""
+    chunks = {}
+    max_batches = 1
+    for collection in _PROPERTY_COLLECTIONS:
+        size = len(collection.intervals)
+        cuts = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=size - 1),
+                unique=True,
+                max_size=4,
+            ).map(sorted),
+            label=f"cuts-{collection.name}",
+        )
+        edges = [0, *cuts, size]
+        chunks[collection.name] = [
+            collection.intervals[a:b] for a, b in zip(edges, edges[1:])
+        ]
+        max_batches = max(max_batches, len(chunks[collection.name]))
+
+    streams = [StreamingCollection(c.name) for c in _PROPERTY_COLLECTIONS]
+    query = build_query("Qo,m", streams, "P1", k=8)
+    algorithm = get_algorithm("tkij-streaming")
+    with make_context() as context:
+        for tick in range(max_batches):
+            for stream in streams:
+                mine = chunks[stream.name]
+                stream.ingest(mine[tick] if tick < len(mine) else [])
+            report = algorithm.run(query, context, num_granules=5)
+
+    single_shot = build_query("Qo,m", _PROPERTY_COLLECTIONS, "P1", k=8)
+    assert equivalent_top_k(report.results, naive_top_k(single_shot))
