@@ -86,6 +86,9 @@ def backend_speedup_table(
 
 
 def bench_backend_speedup(benchmark, record_table):
+    benchmark.extra_info.update(
+        workload="fig11", kernel="scalar", backend="serial+thread+process"
+    )
     table = benchmark.pedantic(backend_speedup_table, rounds=1, iterations=1)
     record_table("backends_speedup", table)
 

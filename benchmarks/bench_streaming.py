@@ -42,6 +42,7 @@ def streaming_table(
 
 
 def bench_streaming_incremental(benchmark, record_table):
+    benchmark.extra_info.update(workload="streaming", kernel="scalar", backend="serial")
     table = benchmark.pedantic(streaming_table, rounds=1, iterations=1)
     record_table("streaming_incremental", table)
 

@@ -3,15 +3,19 @@
 
 Usage::
 
-    python benchmarks/check_regression.py CURRENT.json \
+    python benchmarks/check_regression.py CURRENT.json [MORE.json ...] \
         [--baseline benchmarks/baseline/BENCH_baseline.json] [--threshold 2.0]
 
-Both files are ``pytest-benchmark --benchmark-json`` outputs.  Benchmarks are
-matched by ``fullname``; a benchmark whose mean time exceeds ``threshold``
-times its baseline mean fails the check.  Benchmarks present on only one side
-are reported but never fail (new benchmarks have no baseline yet; deleted ones
-no longer matter).  A missing baseline file skips the check entirely (exit 0)
-so the job stays green until a baseline is committed.
+All files are ``pytest-benchmark --benchmark-json`` outputs; several current
+files may be passed (e.g. the streaming and kernel jobs) and are merged.
+Benchmarks are matched by ``fullname`` and compared **like for like**: each
+benchmark's ``extra_info`` metadata (kernel, backend, workload, ...) must
+equal the baseline's, otherwise the pair measures different configurations
+and is reported but not compared.  A benchmark whose mean time exceeds
+``threshold`` times its baseline mean fails the check.  Benchmarks present on
+only one side are reported but never fail (new benchmarks have no baseline
+yet; deleted ones no longer matter).  A missing baseline file skips the check
+entirely (exit 0) so the job stays green until a baseline is committed.
 """
 
 from __future__ import annotations
@@ -23,19 +27,26 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "baseline" / "BENCH_baseline.json"
 
+Entry = tuple[float, dict]
 
-def load_means(path: Path) -> dict[str, float]:
-    """Map benchmark fullname -> mean seconds from a pytest-benchmark JSON."""
+
+def load_entries(path: Path) -> dict[str, Entry]:
+    """Map benchmark fullname -> (mean seconds, extra_info) from one JSON."""
     data = json.loads(path.read_text())
     return {
-        bench["fullname"]: float(bench["stats"]["mean"])
+        bench["fullname"]: (
+            float(bench["stats"]["mean"]),
+            bench.get("extra_info") or {},
+        )
         for bench in data.get("benchmarks", [])
     }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", type=Path, help="benchmark JSON of this run")
+    parser.add_argument(
+        "current", type=Path, nargs="+", help="benchmark JSON file(s) of this run"
+    )
     parser.add_argument(
         "--baseline",
         type=Path,
@@ -53,23 +64,41 @@ def main(argv: list[str] | None = None) -> int:
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; skipping regression check")
         return 0
-    if not args.current.exists():
-        print(f"error: current benchmark JSON {args.current} not found")
+    current: dict[str, Entry] = {}
+    loaded = 0
+    for path in args.current:
+        if not path.exists():
+            # Advisory benchmark steps may fail before writing their JSON; a
+            # missing file must not turn their failure into a blocking one.
+            print(f"warning: current benchmark JSON {path} not found; skipping it")
+            continue
+        current.update(load_entries(path))
+        loaded += 1
+    if loaded == 0:
+        print("error: none of the current benchmark JSON files exist")
         return 2
 
-    baseline = load_means(args.baseline)
-    current = load_means(args.current)
+    baseline = load_entries(args.baseline)
 
     failures = []
-    for fullname, mean in sorted(current.items()):
+    for fullname, (mean, meta) in sorted(current.items()):
         reference = baseline.get(fullname)
         if reference is None:
             print(f"NEW      {fullname}: {mean:.4f}s (no baseline)")
             continue
-        ratio = mean / reference if reference > 0 else float("inf")
+        reference_mean, reference_meta = reference
+        if meta != reference_meta:
+            # Different kernel/backend/workload: not the same experiment, so a
+            # time comparison would be meaningless. Reported, never failed.
+            print(
+                f"META     {fullname}: metadata changed "
+                f"({reference_meta!r} -> {meta!r}); skipping comparison"
+            )
+            continue
+        ratio = mean / reference_mean if reference_mean > 0 else float("inf")
         status = "FAIL" if ratio > args.threshold else "ok"
         print(
-            f"{status:8} {fullname}: {mean:.4f}s vs baseline {reference:.4f}s "
+            f"{status:8} {fullname}: {mean:.4f}s vs baseline {reference_mean:.4f}s "
             f"({ratio:.2f}x)"
         )
         if ratio > args.threshold:

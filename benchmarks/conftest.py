@@ -28,3 +28,23 @@ def record_table():
         print(f"\n{text}\n")
 
     return _record
+
+
+@pytest.fixture(autouse=True)
+def _default_benchmark_meta(request):
+    """Stamp workload/kernel/backend metadata into every BENCH_*.json payload.
+
+    The regression gate (``check_regression.py``) only compares benchmarks
+    whose ``extra_info`` matches the baseline's, so every payload must say
+    what configuration it measured.  Defaults describe the common case (the
+    benchmark's own workload on the scalar kernel over the serial backend);
+    benchmarks that sweep kernels or backends override them explicitly.
+    """
+    if "benchmark" in request.fixturenames:
+        benchmark = request.getfixturevalue("benchmark")
+        benchmark.extra_info.setdefault(
+            "workload", request.node.name.removeprefix("bench_")
+        )
+        benchmark.extra_info.setdefault("kernel", "scalar")
+        benchmark.extra_info.setdefault("backend", "serial")
+    yield

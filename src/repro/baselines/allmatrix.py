@@ -35,7 +35,13 @@ from ..query.graph import ResultTuple, RTJQuery
 from ..solver.domain import DomainSet, VariableBox
 from ..solver.objective import EdgeObjective
 from ..temporal.comparators import PredicateParams
-from .common import BaselineResult, boolean_query, compile_boolean_checker, top_k_matches
+from .common import (
+    BaselineResult,
+    boolean_query,
+    compile_boolean_checker,
+    iter_batch_matches,
+    top_k_matches,
+)
 
 __all__ = ["AllMatrixConfig", "AllMatrixJoin"]
 
@@ -72,7 +78,12 @@ class _AllMatrixMapper(Mapper):
 
 
 class _AllMatrixReducer(Reducer):
-    """Nested-loop Boolean join over the reducer's local partitions, capped at k."""
+    """Boolean join over the reducer's local partitions, capped at k.
+
+    The innermost pool is scored as one columnar batch per prefix tuple
+    (:func:`iter_batch_matches`); hybrid queries with attribute constraints
+    keep the scalar nested loop, which the batch kernels do not model.
+    """
 
     def __init__(self, query: RTJQuery, k: int) -> None:
         self._query = query
@@ -89,15 +100,21 @@ class _AllMatrixReducer(Reducer):
             return
         vertices = self._query.vertices
         pools = [self._intervals[vertex] for vertex in vertices]
-        check = compile_boolean_checker(self._query)
-        found = 0
-        for combo in itertools.product(*pools):
-            self.counters.increment("allmatrix.tuples_checked")
-            if check(combo):
-                found += 1
-                yield "match", ResultTuple(tuple(i.uid for i in combo), 1.0)
-                if found >= self._k:
-                    return
+        if self._query.has_attribute_constraints:
+            check = compile_boolean_checker(self._query)
+            found = 0
+            for combo in itertools.product(*pools):
+                self.counters.increment("allmatrix.tuples_checked")
+                if check(combo):
+                    found += 1
+                    yield "match", ResultTuple(tuple(i.uid for i in combo), 1.0)
+                    if found >= self._k:
+                        return
+            return
+        for result in iter_batch_matches(
+            self._query, pools, self._k, self.counters, "allmatrix.tuples_checked"
+        ):
+            yield "match", result
 
 
 @dataclass

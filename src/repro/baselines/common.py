@@ -9,9 +9,14 @@ outputs, and the result/metrics container the experiment reports consume.
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
+import numpy as np
+
+from ..columnar import IntervalColumns, compile_vector
+from ..mapreduce.counters import Counters
 from ..mapreduce.cluster import JobMetrics
 from ..query.graph import QueryEdge, ResultTuple, RTJQuery
 from ..temporal.comparators import PredicateParams
@@ -21,6 +26,8 @@ __all__ = [
     "BaselineResult",
     "boolean_query",
     "compile_boolean_checker",
+    "compile_batch_matcher",
+    "iter_batch_matches",
     "top_k_matches",
 ]
 
@@ -72,6 +79,95 @@ def compile_boolean_checker(query: RTJQuery) -> Callable[[Sequence[Interval]], b
         return True
 
     return check
+
+
+def compile_batch_matcher(
+    query: RTJQuery,
+) -> Callable[[Sequence[Interval], IntervalColumns], "np.ndarray | None"]:
+    """Vectorized Boolean conjunction over the last vertex's candidate batch.
+
+    The returned matcher takes one interval per *prefix* vertex (vertex order,
+    all but the last) plus the last vertex's pool as columns, and returns the
+    per-candidate match mask — or ``None`` when a prefix-only edge already
+    fails, in which case the whole batch is a miss.  Scores come from the same
+    compiled comparator arithmetic as :func:`compile_boolean_checker`
+    (vectorized in :mod:`repro.columnar`), so the mask equals the scalar
+    conjunction exactly.  Attribute constraints are not handled here; callers
+    with hybrid queries keep the scalar path.
+    """
+    position = {vertex: index for index, vertex in enumerate(query.vertices)}
+    last_index = len(query.vertices) - 1
+    prefix_edges = []
+    last_edges = []
+    for edge in query.edges:
+        source, target = position[edge.source], position[edge.target]
+        if last_index in (source, target):
+            last_edges.append((source, target, compile_vector(edge.predicate)))
+        else:
+            prefix_edges.append((source, target, edge.predicate.compile()))
+
+    def matcher(prefix: Sequence[Interval], columns: IntervalColumns):
+        for source, target, scorer in prefix_edges:
+            if scorer(prefix[source], prefix[target]) < 1.0:
+                return None
+        mask = np.ones(len(columns), dtype=bool)
+        for source, target, scorer in last_edges:
+            if source == last_index:
+                fixed = prefix[target]
+                values = scorer(columns.starts, columns.ends, fixed.start, fixed.end)
+            else:
+                fixed = prefix[source]
+                values = scorer(fixed.start, fixed.end, columns.starts, columns.ends)
+            mask &= values >= 1.0
+        return mask
+
+    return matcher
+
+
+def iter_batch_matches(
+    query: RTJQuery,
+    pools: Sequence[Sequence[Interval]],
+    k: int,
+    counters: Counters,
+    counter_name: str,
+    extra_mask: Callable[[Sequence[Interval], IntervalColumns], np.ndarray] | None = None,
+) -> Iterator[ResultTuple]:
+    """Boolean matches in cross-product order, capped at ``k``, batch-scored.
+
+    Columnar twin of the baseline reducers' nested loop: the innermost pool is
+    scored as one batch per prefix tuple.  Matches arrive in the same order the
+    scalar enumeration produces them and the ``counter_name`` counter keeps the
+    scalar semantics exactly — every enumerated tuple counts as checked, and
+    the enumeration stops right at the ``k``-th match (tuples after it in the
+    final batch were never examined, so they are not counted).  ``extra_mask``
+    injects a per-candidate filter evaluated before matching (RCCIS's granule
+    deduplication).
+    """
+    matcher = compile_batch_matcher(query)
+    columns = IntervalColumns.from_intervals(pools[-1])
+    batch = len(columns)
+    found = 0
+    for prefix in itertools.product(*pools[:-1]):
+        mask = matcher(prefix, columns)
+        if mask is None:
+            counters.increment(counter_name, batch)
+            continue
+        if extra_mask is not None:
+            mask &= extra_mask(prefix, columns)
+        hits = np.flatnonzero(mask)
+        needed = k - found
+        if len(hits) >= needed:
+            counters.increment(counter_name, int(hits[needed - 1]) + 1)
+            chosen = hits[:needed]
+        else:
+            counters.increment(counter_name, batch)
+            chosen = hits
+        prefix_uids = tuple(interval.uid for interval in prefix)
+        for row in chosen:
+            yield ResultTuple(prefix_uids + (int(columns.uids[row]),), 1.0)
+        found += len(chosen)
+        if found >= k:
+            return
 
 
 def top_k_matches(

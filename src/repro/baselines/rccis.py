@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Iterator
 
+import numpy as np
+
 from ..mapreduce import (
     ClusterConfig,
     ExecutionBackend,
@@ -34,7 +36,13 @@ from ..mapreduce import (
 )
 from ..query.graph import ResultTuple, RTJQuery
 from ..temporal.comparators import PredicateParams
-from .common import BaselineResult, boolean_query, compile_boolean_checker, top_k_matches
+from .common import (
+    BaselineResult,
+    boolean_query,
+    compile_boolean_checker,
+    iter_batch_matches,
+    top_k_matches,
+)
 
 __all__ = ["RCCISConfig", "RCCISJoin"]
 
@@ -62,6 +70,14 @@ class _GranuleMap:
         if timestamp >= self.high:
             return self.num_granules - 1
         return min(int((timestamp - self.low) / self.width), self.num_granules - 1)
+
+    def batch(self, timestamps: np.ndarray) -> np.ndarray:
+        """Vectorized ``__call__`` (same expression, elementwise-identical)."""
+        timestamps = np.asarray(timestamps, dtype=float)
+        indexes = ((timestamps - self.low) / self.width).astype(np.int64)
+        np.minimum(indexes, self.num_granules - 1, out=indexes)
+        indexes[timestamps >= self.high] = self.num_granules - 1
+        return indexes
 
 
 class _ReplicationMapper(Mapper):
@@ -118,11 +134,32 @@ class _JoinReducer(Reducer):
             return
         vertices = self._query.vertices
         pools = [self._intervals[vertex] for vertex in vertices]
+        if self._query.has_attribute_constraints:
+            yield from self._cleanup_scalar(pools)
+            return
+        granule_map, granule = self._granule_of, self._granule
+
+        def dedup_mask(prefix, columns):
+            # Deduplication: only the granule of the latest start reports the
+            # result; the latest start of (prefix + candidate) is elementwise
+            # max of the prefix maximum and the candidate start column.
+            latest = np.maximum(
+                max(interval.start for interval in prefix), columns.starts
+            )
+            return granule_map.batch(latest) == granule
+
+        for result in iter_batch_matches(
+            self._query, pools, self._k, self.counters, "rccis.tuples_checked",
+            extra_mask=dedup_mask,
+        ):
+            yield "match", result
+
+    def _cleanup_scalar(self, pools) -> Iterator:
+        """Scalar nested loop, kept for hybrid queries with attribute filters."""
         check = compile_boolean_checker(self._query)
         found = 0
         for combo in itertools.product(*pools):
             self.counters.increment("rccis.tuples_checked")
-            # Deduplication: only the granule of the latest start reports the result.
             latest_start = max(interval.start for interval in combo)
             if self._granule_of(latest_start) != self._granule:
                 continue

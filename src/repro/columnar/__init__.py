@@ -1,0 +1,31 @@
+"""Columnar execution substrate: record batches and vectorized kernels.
+
+The scalar engine scores one Python object at a time; this package provides the
+MonetDB/X100-style alternative — numpy record batches (:class:`IntervalColumns`)
+built once per bucket, plus vectorized comparator/predicate/aggregation kernels
+with bit-identical float results.  The local join selects between the two
+through ``LocalJoinConfig.kernel`` (see DESIGN.md §8).
+"""
+
+from .columns import FixedInterval, IntervalColumns, as_columns, as_intervals
+from .kernels import (
+    VectorScorer,
+    box_mask,
+    combine_scores_v,
+    compile_vector,
+    equals_score_v,
+    greater_score_v,
+)
+
+__all__ = [
+    "FixedInterval",
+    "IntervalColumns",
+    "as_columns",
+    "as_intervals",
+    "VectorScorer",
+    "box_mask",
+    "combine_scores_v",
+    "compile_vector",
+    "equals_score_v",
+    "greater_score_v",
+]

@@ -1,0 +1,173 @@
+"""Vectorized comparator, predicate and aggregation kernels.
+
+These are the columnar counterparts of the scalar hot paths: each kernel
+evaluates one operation over a whole candidate array instead of one tuple at a
+time, with bit-identical float results.  Parity is load-bearing, not cosmetic —
+the local join's pruning decisions compare scores against thresholds, so any
+rounding difference would change *which* tuples get enumerated, not just how
+fast.  Every formula below therefore applies the exact arithmetic (same
+operations, same order) as its scalar twin in
+:mod:`repro.temporal.comparators` / :meth:`ScoredPredicate.compile`, and the
+hypothesis suite in ``tests/test_columnar.py`` asserts elementwise equality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..index.rtree import Rect
+from ..temporal.aggregation import (
+    Aggregation,
+    AverageScore,
+    MinScore,
+    SumScore,
+    WeightedSum,
+)
+from ..temporal.comparators import ComparatorParams
+from ..temporal.predicates import ScoredPredicate
+
+__all__ = [
+    "equals_score_v",
+    "greater_score_v",
+    "compile_vector",
+    "combine_scores_v",
+    "box_mask",
+    "VectorScorer",
+]
+
+VectorScorer = Callable[[object, object, object, object], np.ndarray]
+"""``f(x_start, x_end, y_start, y_end) -> scores``; any argument may be an
+array (numpy broadcasting), so one compiled scorer serves both orientations
+of an edge."""
+
+
+def _equals_part(value, lam: float, rho: float) -> np.ndarray:
+    """``equals`` over a difference array, mirroring the scalar if-cascade.
+
+    The plateau/zero branches are selected exactly like the scalar
+    comparator's ``if`` cascade (the slope formula evaluated *on* a plateau
+    can round to 0.999…, so clipping alone is not bit-identical).
+    """
+    distance = np.abs(np.asarray(value, dtype=float))
+    if rho == 0.0:
+        return (distance <= lam).astype(float)
+    edge = lam + rho
+    # np.where evaluates the slope formula on plateau elements too, where it
+    # may overflow for subnormal rho; those lanes are discarded by the mask.
+    with np.errstate(over="ignore"):
+        return np.where(
+            distance <= lam, 1.0, np.where(distance >= edge, 0.0, (edge - distance) / rho)
+        )
+
+
+def _greater_part(value, lam: float, rho: float) -> np.ndarray:
+    """``greater`` over a difference array, mirroring the scalar if-cascade."""
+    value = np.asarray(value, dtype=float)
+    if rho == 0.0:
+        return (value > lam).astype(float)
+    edge = lam + rho
+    with np.errstate(over="ignore"):
+        return np.where(
+            value <= lam, 0.0, np.where(value >= edge, 1.0, (value - lam) / rho)
+        )
+
+
+def equals_score_v(d, params: ComparatorParams) -> np.ndarray:
+    """Vectorized ``equals`` comparator over an array of differences ``d = a - b``."""
+    return _equals_part(d, params.lam, params.rho)
+
+
+def greater_score_v(d, params: ComparatorParams) -> np.ndarray:
+    """Vectorized ``greater`` comparator over an array of differences ``d = a - b``."""
+    return _greater_part(d, params.lam, params.rho)
+
+
+def compile_vector(
+    predicate: ScoredPredicate, first_var: str = "x", second_var: str = "y"
+) -> VectorScorer:
+    """Vectorized counterpart of :meth:`ScoredPredicate.compile`.
+
+    The returned scorer takes the four endpoint operands (scalars or aligned
+    arrays) and returns the per-candidate predicate score: the running ``min``
+    over the conjunct comparators, each evaluated with the same closed-form
+    arithmetic as the scalar closure.
+    """
+    compiled = predicate.compiled_comparisons(first_var, second_var)
+
+    def score_v(x_start, x_end, y_start, y_end) -> np.ndarray:
+        best: np.ndarray | None = None
+        for is_equals, (a, b, c, d), constant, lam, rho in compiled:
+            value = a * x_start + b * x_end + c * y_start + d * y_end + constant
+            part = _equals_part(value, lam, rho) if is_equals else _greater_part(value, lam, rho)
+            best = part if best is None else np.minimum(best, part)
+        if best is None:
+            raise ValueError("predicate has no comparisons")
+        return np.asarray(best, dtype=float)
+
+    return score_v
+
+
+def combine_scores_v(
+    aggregation: Aggregation, parts: Sequence[object], size: int
+) -> np.ndarray:
+    """Vectorized ``aggregation.combine`` over per-edge score columns.
+
+    ``parts`` holds one entry per query edge, in edge order; each entry is
+    either a scalar (an already-resolved score or an upper bound) or an array of
+    per-candidate scores.  Accumulation runs in edge order — the same float
+    operation sequence as the scalar ``combine`` — so results are bit-identical.
+    Aggregations without a closed vector form fall back to the scalar combine
+    per candidate, trading speed for guaranteed parity.
+    """
+    if isinstance(aggregation, (SumScore, AverageScore)):
+        total: object = 0.0
+        for part in parts:
+            total = total + part
+        if isinstance(aggregation, AverageScore):
+            if len(parts) != aggregation.num_edges:
+                raise ValueError(
+                    f"expected {aggregation.num_edges} edge scores, got {len(parts)}"
+                )
+            total = total / aggregation.num_edges
+        return np.broadcast_to(np.asarray(total, dtype=float), (size,))
+    if isinstance(aggregation, WeightedSum):
+        if len(parts) != len(aggregation.weights):
+            raise ValueError(
+                f"expected {len(aggregation.weights)} edge scores, got {len(parts)}"
+            )
+        total = 0.0
+        for weight, part in zip(aggregation.weights, parts):
+            total = total + weight * part
+        return np.broadcast_to(np.asarray(total, dtype=float), (size,))
+    if isinstance(aggregation, MinScore):
+        best: object | None = None
+        for part in parts:
+            best = part if best is None else np.minimum(best, part)
+        if best is None:
+            raise ValueError("cannot combine zero scores")
+        return np.broadcast_to(np.asarray(best, dtype=float), (size,))
+    # Unknown monotone aggregation: exact fallback, one scalar combine per row.
+    columns = [np.broadcast_to(np.asarray(part, dtype=float), (size,)) for part in parts]
+    return np.fromiter(
+        (aggregation.combine([column[row] for column in columns]) for row in range(size)),
+        dtype=float,
+        count=size,
+    )
+
+
+def box_mask(box: Rect, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Candidates whose ``(start, end)`` point lies in ``box``.
+
+    This is the columnar replacement for an R-tree probe with the same box: one
+    boolean range filter over the bucket's columns selects exactly the interval
+    set ``RTree.query(box)`` would return (the box is a superset of the true
+    candidates either way — see :mod:`repro.index.interval_index`).
+    """
+    return (
+        (starts >= box.min_x)
+        & (starts <= box.max_x)
+        & (ends >= box.min_y)
+        & (ends <= box.max_y)
+    )

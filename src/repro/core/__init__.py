@@ -9,7 +9,7 @@ from .distribution import (
     lpt_assignment,
     round_robin_assignment,
 )
-from .local_join import LocalJoinConfig, LocalJoinStats, LocalTopKJoin
+from .local_join import KERNELS, LocalJoinConfig, LocalJoinStats, LocalTopKJoin
 from .merge import merge_top_k, run_merge_job
 from .operators import (
     DistributeOp,
@@ -52,6 +52,7 @@ __all__ = [
     "distribute_top_buckets",
     "lpt_assignment",
     "round_robin_assignment",
+    "KERNELS",
     "LocalJoinConfig",
     "LocalJoinStats",
     "LocalTopKJoin",

@@ -21,24 +21,45 @@ import heapq
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+import numpy as np
+
+from ..columnar import (
+    FixedInterval,
+    IntervalColumns,
+    box_mask,
+    combine_scores_v,
+    compile_vector,
+)
 from ..index import CompiledPredicateQuery, ThresholdIndex
 from ..query.graph import QueryEdge, ResultTuple, RTJQuery
 from ..temporal.interval import Interval
 from .bounds import BucketCombination
 from .statistics import BucketKey
 
-__all__ = ["LocalJoinConfig", "LocalJoinStats", "LocalTopKJoin"]
+__all__ = ["KERNELS", "LocalJoinConfig", "LocalJoinStats", "LocalTopKJoin"]
 
 VertexBucket = tuple[str, BucketKey]
+
+KERNELS = ("scalar", "vector")
+"""Valid values of ``LocalJoinConfig.kernel``."""
 
 
 @dataclass(frozen=True)
 class LocalJoinConfig:
-    """Tuning knobs of the local join (both are ablated in the benchmarks)."""
+    """Tuning knobs of the local join (all are ablated in the benchmarks).
+
+    ``kernel`` selects the execution substrate of the candidate loops:
+    ``"scalar"`` scores one Python object at a time (per-candidate R-tree
+    probes), ``"vector"`` scores whole candidate arrays with the numpy kernels
+    of :mod:`repro.columnar` (one boxed range filter per extension step).  Both
+    kernels enumerate the same tuples in the same order, so results are
+    tie-aware identical and the work counters match exactly (DESIGN.md §8).
+    """
 
     use_index: bool = True
     early_termination: bool = True
     index_leaf_capacity: int = 32
+    kernel: str = "scalar"
 
 
 @dataclass
@@ -95,6 +116,10 @@ class LocalTopKJoin:
     def __init__(self, query: RTJQuery, config: LocalJoinConfig | None = None) -> None:
         self.query = query
         self.config = config or LocalJoinConfig()
+        if self.config.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown join kernel {self.config.kernel!r}; expected one of {KERNELS}"
+            )
         self._floor = 0.0
         self._num_edges = len(query.edges)
         self._join_order = query.join_order()
@@ -123,16 +148,27 @@ class LocalTopKJoin:
             self._threshold_queries[(index, edge.target)] = CompiledPredicateQuery(
                 renamed, fixed_var=edge.target, target_var=edge.source
             )
+        # Vectorized per-edge scorers (x = source, y = target, like _scorers).
+        self._vector_scorers = (
+            {index: compile_vector(edge.predicate) for index, edge in enumerate(query.edges)}
+            if self.config.kernel == "vector"
+            else {}
+        )
 
     # ------------------------------------------------------------------ public
     def run(
         self,
         combinations: Sequence[BucketCombination],
-        intervals: Mapping[VertexBucket, Sequence[Interval]],
+        intervals: Mapping[VertexBucket, "Sequence[Interval] | IntervalColumns"],
         k: int | None = None,
         initial_threshold: float = 0.0,
     ) -> tuple[list[ResultTuple], LocalJoinStats]:
         """Top-k results over the given combinations and their bucket contents.
+
+        ``intervals`` maps each ``(vertex, bucket)`` to its contents, either as
+        interval objects or as a columnar :class:`IntervalColumns` batch (what
+        the columnar join operator ships); each kernel coerces to its native
+        representation once per bucket and caches the result for the run.
 
         ``initial_threshold`` seeds the early-termination score floor before the
         local heap fills: tuples that cannot score *strictly above* it are
@@ -145,7 +181,12 @@ class LocalTopKJoin:
         k = k if k is not None else self.query.k
         heap = _TopKHeap(k)
         stats = LocalJoinStats()
+        vector = self.config.kernel == "vector"
+        # Per-run bucket caches: R-tree indexes for the scalar kernel, columnar
+        # batches for the vector kernel (built once per bucket, then reused by
+        # every combination referencing it).
         index_cache: dict[VertexBucket, ThresholdIndex] = {}
+        columns_cache: dict[VertexBucket, IntervalColumns] = {}
         self._floor = initial_threshold if self.config.early_termination else 0.0
 
         ordered = sorted(combinations, key=lambda c: (-c.upper_bound, c.key()))
@@ -159,7 +200,12 @@ class LocalTopKJoin:
                 stats.combinations_skipped += len(ordered) - stats.combinations_processed
                 break
             stats.combinations_processed += 1
-            self._process_combination(combination, intervals, heap, stats, index_cache)
+            if vector:
+                self._process_combination_v(
+                    combination, intervals, heap, stats, columns_cache
+                )
+            else:
+                self._process_combination(combination, intervals, heap, stats, index_cache)
         return heap.results(), stats
 
     # ----------------------------------------------------------------- internal
@@ -173,7 +219,10 @@ class LocalTopKJoin:
     ) -> None:
         per_vertex: dict[str, Sequence[Interval]] = {}
         for vertex, bucket in combination.bucket_items():
-            per_vertex[vertex] = intervals.get((vertex, bucket), ())
+            batch = intervals.get((vertex, bucket), ())
+            if isinstance(batch, IntervalColumns):
+                batch = batch.to_intervals()
+            per_vertex[vertex] = batch
         if any(len(items) == 0 for items in per_vertex.values()):
             return
 
@@ -295,3 +344,210 @@ class LocalTopKJoin:
         return index.candidates_compiled(
             self._threshold_queries[(driver_index, fixed_var)], fixed_interval, required
         )
+
+    # ------------------------------------------------------------ vector kernel
+    def _process_combination_v(
+        self,
+        combination: BucketCombination,
+        intervals: Mapping[VertexBucket, "Sequence[Interval] | IntervalColumns"],
+        heap: _TopKHeap,
+        stats: LocalJoinStats,
+        columns_cache: dict[VertexBucket, IntervalColumns],
+    ) -> None:
+        """Columnar twin of :meth:`_process_combination` (same tuples, same order)."""
+        per_vertex: dict[str, IntervalColumns] = {}
+        for vertex, bucket in combination.bucket_items():
+            key = (vertex, bucket)
+            columns = columns_cache.get(key)
+            if columns is None:
+                batch = intervals.get(key, ())
+                columns = (
+                    batch
+                    if isinstance(batch, IntervalColumns)
+                    else IntervalColumns.from_intervals(batch)
+                )
+                columns_cache[key] = columns
+            per_vertex[vertex] = columns
+        if any(len(columns) == 0 for columns in per_vertex.values()):
+            return
+
+        edge_ubs = self._edge_upper_bounds(combination)
+        first_vertex = self._join_order[0]
+        empty_scores: list[float | None] = [None] * self._num_edges
+        first = per_vertex[first_vertex]
+        for position in range(len(first)):
+            assignment = {first_vertex: first.record(position)}
+            self._extend_v(
+                combination, per_vertex, assignment, empty_scores, 1, edge_ubs,
+                heap, stats,
+            )
+
+    def _extend_v(
+        self,
+        combination: BucketCombination,
+        per_vertex: Mapping[str, IntervalColumns],
+        assignment: dict[str, FixedInterval],
+        edge_scores: list[float | None],
+        depth: int,
+        edge_ubs: Sequence[float],
+        heap: _TopKHeap,
+        stats: LocalJoinStats,
+    ) -> None:
+        """Bind the join-order vertex at ``depth``, scoring all candidates at once.
+
+        Parity with the scalar :meth:`_extend` is exact by construction: the
+        threshold is frozen at entry (as in the scalar loop), the candidate set
+        comes from the same threshold box (a boolean range filter instead of an
+        R-tree probe), candidates are visited in the same bucket insertion
+        order, and the comparator/aggregation kernels produce bit-identical
+        floats — so the same tuples pass the same pruning tests and the
+        counters agree exactly.
+        """
+        vertex = self._join_order[depth]
+        connecting = self._edges_at[depth]
+        pruning = self.config.early_termination and (heap.is_full or self._floor > 0.0)
+        threshold = max(self._floor, heap.kth_score) if pruning else 0.0
+        columns = per_vertex[vertex]
+        positions = self._candidate_positions(
+            combination, columns, assignment, edge_scores, vertex, connecting,
+            edge_ubs, threshold,
+        )
+        if positions is None:
+            cand_uids, cand_starts, cand_ends = columns.uids, columns.starts, columns.ends
+        else:
+            if len(positions) == 0:
+                return
+            cand_uids = columns.uids[positions]
+            cand_starts = columns.starts[positions]
+            cand_ends = columns.ends[positions]
+        count = len(cand_uids)
+        if count == 0:
+            return
+        stats.candidates_examined += count
+
+        # Hybrid queries: attribute constraints are hard filters on the pair.
+        keep = self._attribute_mask(
+            connecting, assignment, vertex, columns, positions, count
+        )
+
+        parts: list[object] = list(edge_scores)
+        for edge_index, edge in connecting:
+            scorer = self._vector_scorers[edge_index]
+            if edge.source == vertex:
+                other = assignment[edge.target]
+                parts[edge_index] = scorer(cand_starts, cand_ends, other.start, other.end)
+            else:
+                other = assignment[edge.source]
+                parts[edge_index] = scorer(other.start, other.end, cand_starts, cand_ends)
+
+        final = depth + 1 == len(self._join_order)
+        if final:
+            # Every edge is resolved: the optimistic estimate *is* the score.
+            scores = combine_scores_v(self.query.aggregation, parts, count)
+            if pruning:
+                if keep is None:
+                    keep = scores >= threshold
+                else:
+                    keep &= scores >= threshold
+            rows = np.flatnonzero(keep) if keep is not None else range(count)
+            slot = self.query.vertices.index(vertex)
+            prefix = [
+                None if v == vertex else assignment[v].uid for v in self.query.vertices
+            ]
+            for row in rows:
+                stats.tuples_scored += 1
+                prefix[slot] = int(cand_uids[row])
+                heap.offer(float(scores[row]), tuple(prefix))
+            return
+
+        if pruning:
+            estimate_parts = [
+                parts[index] if parts[index] is not None else edge_ubs[index]
+                for index in range(self._num_edges)
+            ]
+            estimate = combine_scores_v(self.query.aggregation, estimate_parts, count)
+            if keep is None:
+                keep = estimate >= threshold
+            else:
+                keep &= estimate >= threshold
+        rows = np.flatnonzero(keep) if keep is not None else range(count)
+        for row in rows:
+            original = int(positions[row]) if positions is not None else int(row)
+            payload = columns.payloads[original] if columns.payloads is not None else None
+            assignment[vertex] = FixedInterval(
+                int(cand_uids[row]), float(cand_starts[row]), float(cand_ends[row]), payload
+            )
+            new_scores = edge_scores.copy()
+            for edge_index, _ in connecting:
+                new_scores[edge_index] = float(parts[edge_index][row])
+            self._extend_v(
+                combination, per_vertex, assignment, new_scores, depth + 1,
+                edge_ubs, heap, stats,
+            )
+            del assignment[vertex]
+
+    def _candidate_positions(
+        self,
+        combination: BucketCombination,
+        columns: IntervalColumns,
+        assignment: Mapping[str, FixedInterval],
+        edge_scores: Sequence[float | None],
+        vertex: str,
+        connecting: Sequence[tuple[int, QueryEdge]],
+        edge_ubs: Sequence[float],
+        threshold: float,
+    ) -> np.ndarray | None:
+        """Columnar twin of :meth:`_candidates`: ``None`` means the whole bucket.
+
+        The same residual threshold is boxed by the same
+        :class:`CompiledPredicateQuery`; the boolean range filter over the
+        bucket columns selects exactly the intervals an R-tree probe with that
+        box would return, in insertion order.
+        """
+        if not self.config.use_index or not connecting or threshold <= 0.0:
+            return None
+
+        driver_index, driver_edge = connecting[0]
+        fixed_var = driver_edge.source if driver_edge.target == vertex else driver_edge.target
+        fixed_interval = assignment[fixed_var]
+        known = {
+            index: score for index, score in enumerate(edge_scores) if score is not None
+        }
+        required = self.query.aggregation.residual_threshold(
+            threshold, driver_index, known, edge_ubs
+        )
+        if required <= 0.0:
+            return None
+        if required > 1.0:
+            return _EMPTY_POSITIONS
+        box = self._threshold_queries[(driver_index, fixed_var)].box(
+            fixed_interval, required
+        )
+        if box is None:
+            return _EMPTY_POSITIONS
+        return np.flatnonzero(box_mask(box, columns.starts, columns.ends))
+
+    def _attribute_mask(
+        self,
+        connecting: Sequence[tuple[int, QueryEdge]],
+        assignment: dict[str, FixedInterval],
+        vertex: str,
+        columns: IntervalColumns,
+        positions: np.ndarray | None,
+        count: int,
+    ) -> np.ndarray | None:
+        """Per-candidate attribute filter; ``None`` when no edge carries one."""
+        attr_edges = [(i, e) for i, e in connecting if e.attributes]
+        if not attr_edges:
+            return None
+        keep = np.ones(count, dtype=bool)
+        for row in range(count):
+            original = int(positions[row]) if positions is not None else row
+            assignment[vertex] = columns.record(original)
+            if any(not edge.attributes_hold(assignment) for _, edge in attr_edges):
+                keep[row] = False
+        del assignment[vertex]
+        return keep
+
+
+_EMPTY_POSITIONS = np.empty(0, dtype=np.int64)

@@ -17,7 +17,9 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
 
 from ..mapreduce import ClusterConfig, MapReduceEngine, MapReduceJob, Mapper, Reducer
 from ..mapreduce.cluster import JobMetrics
@@ -29,6 +31,7 @@ __all__ = [
     "BucketKey",
     "BucketMatrix",
     "DatasetStatistics",
+    "bucket_counts",
     "collect_statistics",
     "collect_statistics_mapreduce",
     "update_statistics",
@@ -66,6 +69,21 @@ class Granularity:
             return self.num_granules - 1
         index = int((timestamp - self.time_min) / self.width)
         return min(index, self.num_granules - 1)
+
+    def granules_of(self, timestamps: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`granule_of` over an array of timestamps.
+
+        Uses the same float expression (``int((t - time_min) / width)``, both
+        clamps) so every element equals the scalar result exactly.
+        """
+        timestamps = np.asarray(timestamps, dtype=float)
+        indexes = ((timestamps - self.time_min) / self.width).astype(np.int64)
+        np.minimum(indexes, self.num_granules - 1, out=indexes)
+        # Clamp order mirrors the scalar if-cascade: on a degenerate range a
+        # timestamp can satisfy both bounds and the <= time_min branch wins.
+        indexes[timestamps >= self.time_max] = self.num_granules - 1
+        indexes[timestamps <= self.time_min] = 0
+        return indexes
 
     def granule_range(self, index: int) -> tuple[float, float]:
         """Time range ``[low, high]`` of granule ``index``."""
@@ -162,6 +180,37 @@ class DatasetStatistics:
         return len(self.matrices[collection_name].nonempty_buckets())
 
 
+def bucket_counts(
+    granularity: Granularity, starts: np.ndarray, ends: np.ndarray
+) -> dict[BucketKey, int]:
+    """Bucket histogram of a batch: one ``bincount`` instead of a Python loop.
+
+    Start and end granule indexes are computed with the vectorized
+    :meth:`Granularity.granules_of` (elementwise-identical to the scalar path),
+    flattened to ``start * g + end`` and counted in one pass; only non-empty
+    buckets appear in the returned mapping, like incremental accumulation.
+    """
+    if len(starts) == 0:
+        return {}
+    num_granules = granularity.num_granules
+    flat = granularity.granules_of(starts) * num_granules + granularity.granules_of(ends)
+    counts = np.bincount(flat, minlength=num_granules * num_granules)
+    return {
+        (int(key) // num_granules, int(key) % num_granules): int(counts[key])
+        for key in np.flatnonzero(counts)
+    }
+
+
+def _batch_arrays(intervals: Iterable[Interval]) -> tuple[np.ndarray, np.ndarray]:
+    """Start/end columns of an interval batch (materialising iterators once)."""
+    batch: Sequence[Interval] = (
+        intervals if isinstance(intervals, (list, tuple)) else list(intervals)
+    )
+    starts = np.fromiter((x.start for x in batch), dtype=float, count=len(batch))
+    ends = np.fromiter((x.end for x in batch), dtype=float, count=len(batch))
+    return starts, ends
+
+
 def update_statistics(
     statistics: DatasetStatistics,
     inserted: Mapping[str, Iterable[Interval]] | None = None,
@@ -176,30 +225,39 @@ def update_statistics(
     first/last granule, like any out-of-range timestamp).  The statistics object is
     updated in place and returned; average lengths are not recomputed because they
     only parameterise the extended predicates built from the *collections*.
+
+    Batches are bucketed with the vectorized histogram (one ``bincount`` per
+    collection), applying whole per-bucket amounts at once.
     """
     for name, intervals in (inserted or {}).items():
         matrix = statistics.matrix(name)
-        for interval in intervals:
-            matrix.add(matrix.granularity.bucket_of(interval))
+        starts, ends = _batch_arrays(intervals)
+        for key, amount in bucket_counts(matrix.granularity, starts, ends).items():
+            matrix.add(key, amount)
     for name, intervals in (deleted or {}).items():
         matrix = statistics.matrix(name)
-        for interval in intervals:
-            matrix.remove(matrix.granularity.bucket_of(interval))
+        starts, ends = _batch_arrays(intervals)
+        for key, amount in bucket_counts(matrix.granularity, starts, ends).items():
+            matrix.remove(key, amount)
     return statistics
 
 
 def collect_statistics(
     collections: Mapping[str, IntervalCollection], num_granules: int
 ) -> DatasetStatistics:
-    """Direct in-process statistics collection (no Map-Reduce job)."""
+    """Direct in-process statistics collection (no Map-Reduce job).
+
+    The per-granule accumulation is batched: the collection's cached start/end
+    columns go through one vectorized histogram per collection instead of one
+    ``granule_of`` pair per interval.
+    """
     matrices: dict[str, BucketMatrix] = {}
     average_lengths: dict[str, float] = {}
     for name, collection in collections.items():
         granularity = Granularity.for_collection(collection, num_granules)
-        matrix = BucketMatrix(name, granularity)
-        for interval in collection:
-            matrix.add(granularity.bucket_of(interval))
-        matrices[name] = matrix
+        matrices[name] = BucketMatrix(
+            name, granularity, bucket_counts(granularity, collection.starts, collection.ends)
+        )
         average_lengths[name] = collection.average_length()
     return DatasetStatistics(matrices, num_granules, average_lengths)
 

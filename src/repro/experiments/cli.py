@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Sequence
 
+from ..core import KERNELS
 from ..mapreduce import BACKEND_NAMES
 from ..plan import PLAN_MODES, REGISTRY, available_algorithms
 from .harness import ResultTable, run_single_query
@@ -56,7 +57,7 @@ def _backend_kwargs(args: argparse.Namespace) -> dict[str, object]:
 
 def _run_kwargs(args: argparse.Namespace) -> dict[str, object]:
     """Backend plus planning options, for drivers that accept ``--plan auto``."""
-    return {**_backend_kwargs(args), "plan": args.plan}
+    return {**_backend_kwargs(args), "plan": args.plan, "kernel": args.kernel}
 
 
 EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
@@ -114,7 +115,11 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
         query_name=args.query,
         size=args.size,
         k=args.k,
-        options={"mode": args.plan, "num_granules": args.granules},
+        options={
+            "mode": args.plan,
+            "num_granules": args.granules,
+            "kernel": args.kernel,
+        },
         backend=args.backend,
         max_workers=args.max_workers,
     ),
@@ -169,6 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(PLAN_MODES),
         default="manual",
         help="who configures TKIJ: 'manual' uses the CLI knobs, 'auto' the cost-based planner",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default=None,
+        help=(
+            "local-join kernel: 'scalar' (per-tuple Python) or 'vector' (columnar "
+            "numpy batches); default lets --plan auto decide and is scalar otherwise"
+        ),
     )
     parser.add_argument(
         "--list-algorithms",

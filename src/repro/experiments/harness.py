@@ -154,6 +154,9 @@ class TKIJRunConfig:
     early_termination: bool = True
     solver_max_nodes: int = 64
     plan: str = "manual"
+    kernel: str | None = None
+    """Local-join kernel.  ``None`` defers: scalar under manual planning, the
+    planner's pick under ``plan="auto"``.  An explicit value always wins."""
 
     def make_cluster(self) -> ClusterConfig:
         """The simulated-cluster description of this configuration."""
@@ -175,16 +178,22 @@ class TKIJRunConfig:
 
     def plan_knobs(self) -> dict[str, Any]:
         """The TKIJ plan knobs encoded by this configuration."""
-        return {
+        knobs: dict[str, Any] = {
             "mode": self.plan,
             "num_granules": self.num_granules,
             "strategy": self.strategy,
             "assigner": self.assigner,
             "join_config": LocalJoinConfig(
-                use_index=self.use_index, early_termination=self.early_termination
+                use_index=self.use_index,
+                early_termination=self.early_termination,
+                kernel=self.kernel or "scalar",
             ),
             "solver": BranchAndBoundSolver(max_nodes=self.solver_max_nodes),
         }
+        if self.kernel is not None:
+            # Forwarded as an explicit knob so it beats the auto planner's pick.
+            knobs["kernel"] = self.kernel
+        return knobs
 
     def make_runner(self, backend: ExecutionBackend | None = None) -> TKIJ:
         """Instantiate the TKIJ evaluator for this configuration.
@@ -198,7 +207,9 @@ class TKIJRunConfig:
             assigner=self.assigner,
             cluster=self.make_cluster(),
             join_config=LocalJoinConfig(
-                use_index=self.use_index, early_termination=self.early_termination
+                use_index=self.use_index,
+                early_termination=self.early_termination,
+                kernel=self.kernel or "scalar",
             ),
             solver=BranchAndBoundSolver(max_nodes=self.solver_max_nodes),
             backend=backend,

@@ -90,6 +90,7 @@ def figure13_network_scalability(
     backend: str = "serial",
     max_workers: int | None = None,
     plan: str = "manual",
+    kernel: str | None = None,
 ) -> ResultTable:
     """Running time while the sampled fraction of the trace grows (Figure 13)."""
     base = generate_network_collection(config, seed=seed)
@@ -109,7 +110,7 @@ def figure13_network_scalability(
                 query = build_query(query_name, collections, params_name, k=k)
                 result = run_tkij(
                     query,
-                    TKIJRunConfig(num_granules=num_granules, plan=plan),
+                    TKIJRunConfig(num_granules=num_granules, plan=plan, kernel=kernel),
                     context=context,
                 )
                 matrix = result.top_buckets
@@ -135,6 +136,7 @@ def figure14_network_effect_k(
     backend: str = "serial",
     max_workers: int | None = None,
     plan: str = "manual",
+    kernel: str | None = None,
 ) -> ResultTable:
     """Running time as k grows on the network trace (Figure 14)."""
     collections = network_collections(config, seed=seed)
@@ -149,7 +151,7 @@ def figure14_network_effect_k(
                 query = build_query(query_name, collections, params_name, k=k)
                 result = run_tkij(
                     query,
-                    TKIJRunConfig(num_granules=num_granules, plan=plan),
+                    TKIJRunConfig(num_granules=num_granules, plan=plan, kernel=kernel),
                     context=context,
                 )
                 table.add_row(

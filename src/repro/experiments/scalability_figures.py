@@ -37,6 +37,7 @@ def figure11_scalability(
     backend: str = "serial",
     max_workers: int | None = None,
     plan: str = "manual",
+    kernel: str | None = None,
 ) -> ResultTable:
     """TKIJ (scored P1 and Boolean PB) against All-Matrix / RCCIS while |Ci| grows."""
     table = ResultTable(
@@ -56,7 +57,10 @@ def figure11_scalability(
                 for params_name in ("P1", "PB"):
                     query = build_query(query_name, collections, params_name, k=k)
                     config = TKIJRunConfig(
-                        num_granules=num_granules, num_reducers=num_reducers, plan=plan
+                        num_granules=num_granules,
+                        num_reducers=num_reducers,
+                        plan=plan,
+                        kernel=kernel,
                     )
                     result = run_tkij(query, config, context=context)
                     table.add_row(

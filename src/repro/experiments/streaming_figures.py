@@ -36,6 +36,7 @@ def figure_streaming(
     backend: str = "serial",
     max_workers: int | None = None,
     plan: str = "manual",
+    kernel: str | None = None,
     compare_full: bool = True,
     seed: int = 7,
 ) -> ResultTable:
@@ -86,7 +87,8 @@ def figure_streaming(
                     for stream in streams:
                         stream.ingest(chunks[stream.name][tick])
                     report = streaming_algorithm.run(
-                        query, context, mode=plan, num_granules=num_granules
+                        query, context, mode=plan, num_granules=num_granules,
+                        kernel=kernel,
                     )
                     batch = report.raw.batches[-1]
                     row = {
@@ -100,7 +102,8 @@ def figure_streaming(
                         # Same query object: the static algorithm sees the
                         # committed snapshot of the streaming collections.
                         full = static_algorithm.run(
-                            query, full_context, num_granules=num_granules
+                            query, full_context, num_granules=num_granules,
+                            kernel=kernel,
                         )
                         row["full_seconds"] = full.total_seconds
                         row["full_tuples_scored"] = float(

@@ -237,6 +237,7 @@ def effect_of_k_synthetic(
     backend: str = "serial",
     max_workers: int | None = None,
     plan: str = "manual",
+    kernel: str | None = None,
 ) -> ResultTable:
     """Section 4.2.6: running time as k varies (expected to stay nearly flat)."""
     table = ResultTable(
@@ -251,7 +252,7 @@ def effect_of_k_synthetic(
                 query = build_query(query_name, collections, params_name, k=k)
                 result = run_tkij(
                     query,
-                    TKIJRunConfig(num_granules=num_granules, plan=plan),
+                    TKIJRunConfig(num_granules=num_granules, plan=plan, kernel=kernel),
                     context=context,
                 )
                 table.add_row(

@@ -15,7 +15,7 @@ filter, so the box query always returns a superset of the true candidates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..temporal.comparators import ComparatorParams
@@ -152,13 +152,21 @@ class ThresholdIndex:
     The index is built once per (reducer, bucket) and queried with a predicate, a
     fixed partner interval and a threshold.  ``exact=True`` additionally filters
     candidates with the true predicate score.
+
+    Query results are returned in the insertion order of the indexed intervals,
+    not in tree-traversal order: the local join's pruning thresholds evolve with
+    the processing order, so a deterministic order is what makes the scalar and
+    vector kernels (and all execution backends) enumerate identical tuples.
     """
 
     tree: RTree
+    positions: dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def build(cls, intervals: Iterable[Interval], leaf_capacity: int = 32) -> "ThresholdIndex":
-        return cls(RTree(intervals, leaf_capacity=leaf_capacity))
+        rows = list(intervals)
+        positions = {interval.uid: position for position, interval in enumerate(rows)}
+        return cls(RTree(rows, leaf_capacity=leaf_capacity), positions)
 
     def __len__(self) -> int:
         return len(self.tree)
@@ -176,7 +184,10 @@ class ThresholdIndex:
         box = query.box(fixed_interval, threshold)
         if box is None:
             return []
-        return self.tree.query(box)
+        found = self.tree.query(box)
+        if self.positions:
+            found.sort(key=lambda interval: self.positions[interval.uid])
+        return found
 
     def candidates(
         self,
@@ -192,6 +203,8 @@ class ThresholdIndex:
         if box is None:
             return []
         found = self.tree.query(box)
+        if self.positions:
+            found.sort(key=lambda interval: self.positions[interval.uid])
         if not exact:
             return found
         return [

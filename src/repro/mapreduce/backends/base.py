@@ -49,11 +49,15 @@ class TaskResult:
 
 @dataclass(frozen=True)
 class MapTask:
-    """One map task: a fresh mapper applied to one input split."""
+    """One map task: a fresh mapper applied to one input split.
+
+    ``split`` is a tuple on pickling backends; non-pickling backends may pass
+    the engine's own split list directly (tasks only iterate it).
+    """
 
     job: MapReduceJob
     task_id: int
-    split: tuple[KeyValue, ...]
+    split: Sequence[KeyValue]
 
     def __call__(self) -> TaskResult:
         mapper = self.job.mapper_factory()
@@ -122,9 +126,16 @@ class ExecutionBackend(ABC):
     created lazily on first use) and release it in :meth:`close`.  They are
     reusable across jobs: the engine keeps one backend for its lifetime so
     pool start-up cost is amortised over many jobs.
+
+    ``requires_pickling`` declares whether tasks cross a process boundary.
+    When it is ``False`` (serial/thread) the engine takes a zero-copy fast
+    path: map splits and shuffle partitions are handed to tasks as the very
+    containers the engine built, skipping the defensive ``tuple``/``dict``
+    copies that only exist to shrink pickles for the process backend.
     """
 
     name: str = "abstract"
+    requires_pickling: bool = False
 
     def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is not None and max_workers <= 0:

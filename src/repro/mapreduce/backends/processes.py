@@ -24,6 +24,7 @@ class ProcessPoolBackend(ExecutionBackend):
     """Executes tasks on a lazily-created, reusable process pool."""
 
     name = "process"
+    requires_pickling = True
 
     def __init__(self, max_workers: int | None = None) -> None:
         super().__init__(max_workers)

@@ -106,8 +106,11 @@ class MapReduceEngine:
         self, job: MapReduceJob, records: Sequence[KeyValue], metrics: JobMetrics
     ) -> list[KeyValue]:
         splits = self._split(records, self.cluster.num_mappers)
+        # Zero-copy fast path: only a pickling backend needs the compact tuple
+        # copy of each split; serial/thread tasks iterate the engine's lists.
+        pickling = self.backend.requires_pickling
         tasks = [
-            MapTask(job=job, task_id=task_id, split=tuple(split))
+            MapTask(job=job, task_id=task_id, split=tuple(split) if pickling else split)
             for task_id, split in enumerate(splits)
         ]
         intermediate: list[KeyValue] = []
@@ -128,6 +131,9 @@ class MapReduceEngine:
             partitions[reducer_index][key].append(value)
             metrics.shuffle_records += 1
             metrics.shuffle_size += job.record_size(key, value)
+        if not self.backend.requires_pickling:
+            # Zero-copy fast path: reduce tasks read the partitions as built.
+            return partitions
         # Freeze to plain dicts: smaller pickles for the process backend.
         return [dict(partition) for partition in partitions]
 

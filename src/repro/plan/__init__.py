@@ -24,6 +24,7 @@ from .algorithms import (
     NaiveAlgorithm,
     RCCISAlgorithm,
     TKIJAlgorithm,
+    resolve_join_config,
 )
 from .context import ExecutionContext, StatisticsCache
 from .planner import AutoPlanner, PlanExplanation
@@ -38,6 +39,7 @@ __all__ = [
     "NaiveAlgorithm",
     "AllMatrixAlgorithm",
     "RCCISAlgorithm",
+    "resolve_join_config",
     "ExecutionContext",
     "StatisticsCache",
     "AutoPlanner",

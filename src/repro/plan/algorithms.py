@@ -12,6 +12,7 @@ statistics cache so phase (a) runs once per (dataset, granularity).
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Any, Mapping
 
 from ..baselines.allmatrix import AllMatrixConfig, AllMatrixJoin
@@ -33,10 +34,25 @@ __all__ = [
     "NaiveAlgorithm",
     "AllMatrixAlgorithm",
     "RCCISAlgorithm",
+    "resolve_join_config",
 ]
 
 PLAN_MODES = ("manual", "auto")
 """Valid values of the TKIJ ``mode`` knob (and the CLI ``--plan`` option)."""
+
+
+def resolve_join_config(knobs: Mapping[str, Any]) -> LocalJoinConfig:
+    """The plan's local-join configuration with the ``kernel`` knob applied.
+
+    ``kernel`` may come from the CLI/driver (explicit) or from the planner
+    (auto mode); either way it overrides whatever the ``join_config`` object
+    carries, so one knob controls the kernel everywhere.
+    """
+    join_config: LocalJoinConfig = knobs["join_config"]
+    kernel = knobs.get("kernel")
+    if kernel is not None and kernel != join_config.kernel:
+        join_config = replace(join_config, kernel=kernel)
+    return join_config
 
 
 class TKIJAlgorithm(Algorithm):
@@ -54,6 +70,7 @@ class TKIJAlgorithm(Algorithm):
         num_granules: int = 20,
         strategy: str = "loose",
         assigner: str = "dtb",
+        kernel: str | None = None,
         join_config: LocalJoinConfig | None = None,
         solver: BranchAndBoundSolver | None = None,
         statistics_on_mapreduce: bool = False,
@@ -74,6 +91,11 @@ class TKIJAlgorithm(Algorithm):
             planner = planner or AutoPlanner()
             chosen, explanation = planner.plan(query, context)
             knobs.update(chosen)
+        if kernel is not None:
+            # An explicit kernel always wins over the planner's pick.
+            knobs["kernel"] = kernel
+            if explanation is not None:
+                explanation.kernel = kernel
         return ExecutionPlan(self.name, query, context, knobs, explanation)
 
     def execute(self, plan: ExecutionPlan) -> RunReport:
@@ -83,7 +105,7 @@ class TKIJAlgorithm(Algorithm):
             strategy=knobs["strategy"],
             assigner=knobs["assigner"],
             cluster=context.cluster,
-            join_config=knobs["join_config"],
+            join_config=resolve_join_config(knobs),
             solver=knobs["solver"],
             statistics_on_mapreduce=knobs["statistics_on_mapreduce"],
             backend=context.get_backend(),
@@ -122,7 +144,7 @@ class TKIJAlgorithm(Algorithm):
 
     def plan_knobs(self, options: Mapping[str, Any]) -> dict[str, Any]:
         picked = {}
-        for knob in ("mode", "num_granules", "strategy", "assigner"):
+        for knob in ("mode", "num_granules", "strategy", "assigner", "kernel"):
             if options.get(knob) is not None:
                 picked[knob] = options[knob]
         return picked

@@ -33,6 +33,7 @@ class PlanExplanation:
     num_granules: int
     strategy: str
     assigner: str
+    kernel: str = "scalar"
     inputs: dict[str, float] = field(default_factory=dict)
     reasons: list[str] = field(default_factory=list)
 
@@ -42,6 +43,7 @@ class PlanExplanation:
             "num_granules": self.num_granules,
             "strategy": self.strategy,
             "assigner": self.assigner,
+            "kernel": self.kernel,
         }
         summary.update(self.inputs)
         return summary
@@ -49,7 +51,8 @@ class PlanExplanation:
     def summary(self) -> str:
         """One-line human-readable account of the plan."""
         choices = (
-            f"g={self.num_granules} strategy={self.strategy} assigner={self.assigner}"
+            f"g={self.num_granules} strategy={self.strategy} assigner={self.assigner} "
+            f"kernel={self.kernel}"
         )
         if not self.reasons:
             return choices
@@ -94,6 +97,11 @@ class AutoPlanner:
     """Combination spaces at most this large get joint (tight) bounds outright."""
     skew_threshold: float = 4.0
     """Bucket skew above which finer granularities are favoured."""
+    vector_candidate_threshold: float = 64.0
+    """Expected candidate tuples per bucket combination above which the local
+    join switches to the vectorized columnar kernel.  Small combinations are
+    dominated by per-batch numpy dispatch overhead; large ones by per-candidate
+    Python interpretation, which is exactly what the vector kernel removes."""
     replan_cost_factor: float = 2.0
     """Full replan threshold: replan once the projected incremental cost of the
     next batches exceeds this multiple of a fresh phase (a)+(b) pass."""
@@ -124,6 +132,9 @@ class AutoPlanner:
         )
         strategy = self._choose_strategy(query, est_combos, reasons)
         assigner = self._choose_assigner(query, skew, reasons)
+        kernel, est_candidates = self._choose_kernel(
+            query, sizes, nonempty, num_granules, reasons
+        )
 
         inputs = {
             "total_intervals": float(sum(sizes.values())),
@@ -132,6 +143,7 @@ class AutoPlanner:
             "k": float(query.k),
             "bucket_skew": skew,
             "estimated_combinations": float(est_combos),
+            "estimated_candidates_per_combination": est_candidates,
             "probe_granules": float(self.probe_granules),
             # Phase (a) work spent probing (attributed to the statistics phase
             # by TKIJAlgorithm.execute, so auto-planned reports stay honest).
@@ -142,12 +154,14 @@ class AutoPlanner:
             "num_granules": num_granules,
             "strategy": strategy,
             "assigner": assigner,
+            "kernel": kernel,
         }
         explanation = PlanExplanation(
             algorithm="tkij",
             num_granules=num_granules,
             strategy=strategy,
             assigner=assigner,
+            kernel=kernel,
             inputs=inputs,
             reasons=reasons,
         )
@@ -202,6 +216,20 @@ class AutoPlanner:
         )
 
     # ----------------------------------------------------------------- choices
+    def _estimated_buckets(
+        self, name: str, sizes: Mapping[str, int], nonempty: Mapping[str, int], num_granules: int
+    ) -> int:
+        """Extrapolated non-empty bucket count of one collection at ``num_granules``."""
+        scale = (num_granules / self.probe_granules) ** 2
+        return max(
+            1,
+            min(
+                sizes[name],
+                num_granules * (num_granules + 1) // 2,
+                max(1, round(nonempty[name] * scale)),
+            ),
+        )
+
     def _estimated_combinations(
         self,
         query: RTJQuery,
@@ -210,17 +238,54 @@ class AutoPlanner:
         num_granules: int,
     ) -> int:
         """Estimated size of the bucket-combination space at ``num_granules``."""
-        scale = (num_granules / self.probe_granules) ** 2
         est = 1
         for vertex in query.vertices:
             name = query.collections[vertex].name
-            per_collection = min(
-                sizes[name],
-                num_granules * (num_granules + 1) // 2,
-                max(1, round(nonempty[name] * scale)),
-            )
-            est *= max(1, per_collection)
+            est *= self._estimated_buckets(name, sizes, nonempty, num_granules)
         return est
+
+    def _choose_kernel(
+        self,
+        query: RTJQuery,
+        sizes: Mapping[str, int],
+        nonempty: Mapping[str, int],
+        num_granules: int,
+        reasons: list[str],
+    ) -> tuple[str, float]:
+        """Pick the local-join kernel from the expected per-combination work.
+
+        The expected candidate-tuple count of one bucket combination is the
+        product of the mean bucket cardinalities at the chosen granularity.
+        Above :attr:`vector_candidate_threshold` the interpreted per-candidate
+        loop dominates and the columnar kernel wins; below it the per-batch
+        numpy dispatch overhead does, and the scalar kernel stays faster.
+        Hybrid queries stay scalar: attribute constraints force a per-candidate
+        Python filter inside the vector kernel, which voids its premise.
+        """
+        if query.has_attribute_constraints:
+            reasons.append(
+                "kernel=scalar: attribute constraints require per-candidate "
+                "Python filtering, which the columnar kernel cannot amortise"
+            )
+            return "scalar", 0.0
+        est_candidates = 1.0
+        for vertex in query.vertices:
+            name = query.collections[vertex].name
+            buckets = self._estimated_buckets(name, sizes, nonempty, num_granules)
+            est_candidates *= sizes[name] / buckets
+        if est_candidates >= self.vector_candidate_threshold:
+            reasons.append(
+                f"kernel=vector: ~{est_candidates:.0f} candidate tuples per "
+                f"combination (>= {self.vector_candidate_threshold:.0f}), batch "
+                f"scoring amortises the numpy dispatch"
+            )
+            return "vector", est_candidates
+        reasons.append(
+            f"kernel=scalar: ~{est_candidates:.0f} candidate tuples per combination "
+            f"(< {self.vector_candidate_threshold:.0f}), batches too small to "
+            f"amortise vectorization"
+        )
+        return "scalar", est_candidates
 
     def _choose_granularity(
         self,

@@ -49,7 +49,7 @@ from ..core.operators import (
 from ..core.top_buckets import STRATEGIES
 from ..mapreduce import MapReduceEngine
 from ..plan.algorithm import Algorithm, ExecutionPlan, RunReport
-from ..plan.algorithms import PLAN_MODES
+from ..plan.algorithms import PLAN_MODES, resolve_join_config
 from ..plan.context import ExecutionContext
 from ..plan.planner import AutoPlanner
 from ..plan.registry import register
@@ -80,6 +80,7 @@ class StreamingTKIJ(Algorithm):
         num_granules: int = 20,
         strategy: str = "loose",
         assigner: str = "dtb",
+        kernel: str | None = None,
         join_config: LocalJoinConfig | None = None,
         solver: BranchAndBoundSolver | None = None,
         planner: AutoPlanner | None = None,
@@ -96,6 +97,10 @@ class StreamingTKIJ(Algorithm):
             "num_granules": num_granules,
             "strategy": strategy,
             "assigner": assigner,
+            # The kernel is resolved per (re)plan in _full_tick: an explicit
+            # value always wins, otherwise auto mode applies the planner's
+            # pick and manual mode keeps the join_config's own kernel.
+            "kernel": kernel,
             "join_config": join_config or LocalJoinConfig(),
             "solver": solver or BranchAndBoundSolver(),
             "planner": planner or AutoPlanner(),
@@ -165,7 +170,7 @@ class StreamingTKIJ(Algorithm):
 
     def plan_knobs(self, options: Mapping[str, Any]) -> dict[str, Any]:
         picked = {}
-        for knob in ("mode", "num_granules", "strategy", "assigner", "stream_id"):
+        for knob in ("mode", "num_granules", "strategy", "assigner", "kernel", "stream_id"):
             if options.get(knob) is not None:
                 picked[knob] = options[knob]
         return picked
@@ -213,6 +218,16 @@ class StreamingTKIJ(Algorithm):
             chosen, explanation = planner.plan(query, context)
             resolved.update(chosen)
             state.explanation = explanation
+        # Resolve the effective join configuration for this plan epoch: an
+        # explicit kernel beats the planner's pick; the resolved config drives
+        # both this full evaluation and every incremental tick until a replan.
+        explicit_kernel = knobs.get("kernel")
+        kernel = explicit_kernel if explicit_kernel is not None else resolved.get("kernel")
+        resolved["join_config"] = resolve_join_config(
+            {"join_config": knobs["join_config"], "kernel": kernel}
+        )
+        if explicit_kernel is not None and state.explanation is not None:
+            state.explanation.kernel = explicit_kernel
         state.knobs = resolved
         num_granules = resolved["num_granules"]
         if replanned and rebuild_statistics:
@@ -239,7 +254,7 @@ class StreamingTKIJ(Algorithm):
                 StatisticsOp(num_granules, False, statistics),
                 TopBucketsOp(resolved["strategy"], knobs["solver"]),
                 DistributeOp(resolved["assigner"]),
-                JoinOp(knobs["join_config"]),
+                JoinOp(resolved["join_config"]),
                 MergeOp(),
             ],
             pstate,
@@ -362,7 +377,9 @@ class StreamingTKIJ(Algorithm):
                 FilteredDistributeOp(state.knobs["assigner"], keep=candidate_filter),
                 # Reducers inherit the persistent k-th score as their pruning
                 # floor: tuples that cannot strictly beat it never get scored.
-                PrunedJoinOp(knobs["join_config"], initial_threshold=threshold or 0.0),
+                PrunedJoinOp(
+                    state.knobs["join_config"], initial_threshold=threshold or 0.0
+                ),
                 MergeOp(),
             ],
             pstate,

@@ -182,13 +182,15 @@ class ScoredPredicate:
         """Return a copy using a different parameter set (overrides are preserved)."""
         return replace(self, params=params)
 
-    def compile(self, first_var: str = _X, second_var: str = _Y):
-        """Return a fast scorer ``f(x_interval, y_interval) -> float``.
+    def compiled_comparisons(
+        self, first_var: str = _X, second_var: str = _Y
+    ) -> list[tuple[bool, tuple[float, float, float, float], float, float, float]]:
+        """Comparison plans ``(is_equals, endpoint coefficients, constant, lam, rho)``.
 
-        The closure inlines the comparator arithmetic and avoids the per-call
-        assignment dictionaries; it is the hot path of the local join and of the
-        naive oracle.  ``first_var``/``second_var`` name the predicate's two
-        variables (``x``/``y`` unless the predicate was renamed).
+        Each plan scores one conjunct as a piecewise-linear function of
+        ``a*x.start + b*x.end + c*y.start + d*y.end + constant``.  Shared by the
+        scalar :meth:`compile` closure and the vectorized kernel compiler in
+        :mod:`repro.columnar.kernels`, so the two paths cannot drift apart.
         """
         slot = {
             (first_var, "start"): 0,
@@ -218,6 +220,17 @@ class ScoredPredicate:
                     params.rho,
                 )
             )
+        return compiled
+
+    def compile(self, first_var: str = _X, second_var: str = _Y):
+        """Return a fast scorer ``f(x_interval, y_interval) -> float``.
+
+        The closure inlines the comparator arithmetic and avoids the per-call
+        assignment dictionaries; it is the hot path of the local join and of the
+        naive oracle.  ``first_var``/``second_var`` name the predicate's two
+        variables (``x``/``y`` unless the predicate was renamed).
+        """
+        compiled = self.compiled_comparisons(first_var, second_var)
 
         def score(x: Interval, y: Interval) -> float:
             best = 1.0

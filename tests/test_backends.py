@@ -85,6 +85,47 @@ class TestBackendRegistry:
         with pytest.raises(ValueError):
             create_backend("thread", max_workers=-1)
 
+    def test_pickling_contract(self):
+        """Only the process backend crosses a process boundary; the engine's
+        zero-copy fast path keys off this flag."""
+        assert not SerialBackend().requires_pickling
+        assert not ThreadPoolBackend().requires_pickling
+        assert ProcessPoolBackend().requires_pickling
+
+
+class TestZeroCopyFastPath:
+    def test_serial_map_splits_are_not_copied(self):
+        """On non-pickling backends map tasks receive the engine's own splits."""
+        seen_splits = []
+
+        class SpyBackend(SerialBackend):
+            def run_tasks(self, tasks):
+                seen_splits.extend(
+                    task.split for task in tasks if hasattr(task, "split")
+                )
+                return super().run_tasks(tasks)
+
+        engine = MapReduceEngine(ClusterConfig(num_mappers=2), backend=SpyBackend())
+        engine.run(wordcount_job(), wordcount_input(8))
+        assert seen_splits and all(isinstance(split, list) for split in seen_splits)
+
+    def test_process_map_splits_are_frozen(self):
+        """A pickling backend still gets the compact tuple copies."""
+
+        class FrozenSpy(SerialBackend):
+            requires_pickling = True
+
+            def run_tasks(self, tasks):
+                for task in tasks:
+                    if hasattr(task, "split"):
+                        assert isinstance(task.split, tuple)
+                    else:
+                        assert type(task.partition) is dict
+                return super().run_tasks(tasks)
+
+        engine = MapReduceEngine(ClusterConfig(num_mappers=2), backend=FrozenSpy())
+        engine.run(wordcount_job(), wordcount_input(8))
+
 
 class TestFirstElementPartitioner:
     def test_integer_first_element_routes_directly(self):

@@ -1,0 +1,213 @@
+"""Columnar substrate: elementwise kernel parity and record-batch behaviour.
+
+The vector kernels must be *bit-identical* to their scalar twins — the local
+join compares scores against pruning thresholds, so any rounding drift would
+change which tuples are enumerated.  The hypothesis suites below therefore
+assert exact float equality (no tolerance) over random ``(lambda, rho)`` grids,
+including the Boolean corner ``lambda = rho = 0``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.columnar import (
+    IntervalColumns,
+    combine_scores_v,
+    compile_vector,
+    equals_score_v,
+    greater_score_v,
+)
+from repro.temporal import (
+    ComparatorParams,
+    Interval,
+    PredicateParams,
+    equals_score,
+    greater_score,
+)
+from repro.temporal.aggregation import AverageScore, MinScore, SumScore, WeightedSum
+from repro.temporal.predicates import ALLEN_PREDICATES
+
+_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Includes the Boolean corner lam = rho = 0 explicitly (via min_value=0 plus a
+# dedicated test) and degenerate rho-only / lam-only configurations.
+params_strategy = st.one_of(
+    st.just(ComparatorParams(0.0, 0.0)),
+    st.builds(
+        ComparatorParams,
+        lam=st.floats(0, 25, allow_nan=False),
+        rho=st.floats(0, 50, allow_nan=False),
+    ),
+)
+
+differences_strategy = st.lists(
+    st.floats(-300, 300, allow_nan=False, allow_infinity=False), min_size=1, max_size=40
+)
+
+
+class TestComparatorKernels:
+    @_SETTINGS
+    @given(params=params_strategy, differences=differences_strategy)
+    def test_equals_kernel_matches_scalar_elementwise(self, params, differences):
+        batch = equals_score_v(np.array(differences), params)
+        expected = [equals_score(d, 0.0, params) for d in differences]
+        assert list(batch) == expected
+
+    @_SETTINGS
+    @given(params=params_strategy, differences=differences_strategy)
+    def test_greater_kernel_matches_scalar_elementwise(self, params, differences):
+        batch = greater_score_v(np.array(differences), params)
+        expected = [greater_score(d, 0.0, params) for d in differences]
+        assert list(batch) == expected
+
+    def test_boolean_corner_is_a_step(self):
+        boolean = ComparatorParams(0.0, 0.0)
+        d = np.array([-1.0, -1e-12, 0.0, 1e-12, 1.0])
+        assert list(equals_score_v(d, boolean)) == [0.0, 0.0, 1.0, 0.0, 0.0]
+        assert list(greater_score_v(d, boolean)) == [0.0, 0.0, 0.0, 1.0, 1.0]
+
+
+interval_strategy = st.builds(
+    lambda uid, start, length: Interval(uid, start, start + length),
+    uid=st.integers(0, 10_000),
+    start=st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False),
+    length=st.floats(0, 500, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestVectorPredicates:
+    @_SETTINGS
+    @given(
+        name=st.sampled_from(sorted(ALLEN_PREDICATES)),
+        lam_eq=st.floats(0, 10),
+        rho_eq=st.floats(0, 20),
+        lam_gt=st.floats(0, 10),
+        rho_gt=st.floats(0, 20),
+        x=interval_strategy,
+        ys=st.lists(interval_strategy, min_size=1, max_size=25),
+    )
+    def test_vector_scorer_matches_compiled_scalar(
+        self, name, lam_eq, rho_eq, lam_gt, rho_gt, x, ys
+    ):
+        predicate = ALLEN_PREDICATES[name](
+            PredicateParams.of(lam_eq, rho_eq, lam_gt, rho_gt)
+        )
+        scalar = predicate.compile()
+        vector = compile_vector(predicate)
+        columns = IntervalColumns.from_intervals(ys)
+        batch = vector(x.start, x.end, columns.starts, columns.ends)
+        assert list(batch) == [scalar(x, y) for y in ys]
+
+    @_SETTINGS
+    @given(
+        name=st.sampled_from(sorted(ALLEN_PREDICATES)),
+        xs=st.lists(interval_strategy, min_size=1, max_size=25),
+        y=interval_strategy,
+    )
+    def test_vector_scorer_boolean_params_fixed_target(self, name, xs, y):
+        predicate = ALLEN_PREDICATES[name](PredicateParams.boolean())
+        scalar = predicate.compile()
+        vector = compile_vector(predicate)
+        columns = IntervalColumns.from_intervals(xs)
+        batch = vector(columns.starts, columns.ends, y.start, y.end)
+        assert list(batch) == [scalar(x, y) for x in xs]
+
+
+class TestVectorAggregation:
+    @_SETTINGS
+    @given(
+        rows=st.lists(
+            st.tuples(st.floats(0, 1), st.floats(0, 1), st.floats(0, 1)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_combine_matches_scalar_for_all_aggregations(self, rows):
+        columns = [np.array([row[i] for row in rows]) for i in range(3)]
+        size = len(rows)
+        for aggregation in (
+            AverageScore(num_edges=3),
+            SumScore(),
+            MinScore(),
+            WeightedSum((0.5, 0.0, 2.0)),
+        ):
+            batch = combine_scores_v(aggregation, columns, size)
+            expected = [aggregation.combine(list(row)) for row in rows]
+            assert list(batch) == expected
+
+    def test_combine_broadcasts_scalar_parts(self):
+        aggregation = AverageScore(num_edges=2)
+        batch = combine_scores_v(aggregation, [0.5, np.array([0.0, 1.0])], 2)
+        assert list(batch) == [aggregation.combine([0.5, 0.0]), aggregation.combine([0.5, 1.0])]
+
+
+class TestIntervalColumns:
+    def _columns(self):
+        intervals = [Interval(3, 0.0, 2.0, "a"), Interval(1, 1.0, 4.0), Interval(2, 2.0, 2.5)]
+        return intervals, IntervalColumns.from_intervals(intervals)
+
+    def test_roundtrip_preserves_rows(self):
+        intervals, columns = self._columns()
+        assert len(columns) == 3
+        assert columns.to_intervals() is intervals  # memoised original rows
+        assert [columns.record(i).uid for i in range(3)] == [3, 1, 2]
+        assert columns.payloads == ("a", None, None)
+
+    def test_payloads_dropped_when_all_none(self):
+        columns = IntervalColumns.from_intervals([Interval(0, 0.0, 1.0), Interval(1, 2.0, 3.0)])
+        assert columns.payloads is None
+
+    def test_pickle_ships_arrays_not_objects(self):
+        _, columns = self._columns()
+        restored = pickle.loads(pickle.dumps(columns))
+        assert restored._intervals is None  # the row view does not travel
+        assert list(restored.uids) == [3, 1, 2]
+        rebuilt = restored.to_intervals()
+        assert [x.uid for x in rebuilt] == [3, 1, 2]
+        assert rebuilt[0].payload == "a"
+
+    def test_sort_by_uid(self):
+        _, columns = self._columns()
+        ordered = columns.sort_by_uid()
+        assert list(ordered.uids) == [1, 2, 3]
+        assert ordered.payloads == (None, None, "a")
+
+    def test_concat(self):
+        left = IntervalColumns.from_intervals([Interval(0, 0.0, 1.0)])
+        right = IntervalColumns.from_intervals([Interval(1, 2.0, 3.0, "p")])
+        merged = IntervalColumns.concat([left, right])
+        assert list(merged.uids) == [0, 1]
+        assert merged.payloads == (None, "p")
+
+    def test_empty_batch(self):
+        columns = IntervalColumns.from_intervals([])
+        assert len(columns) == 0
+        assert columns.payloads is None
+
+
+class TestKernelValidation:
+    def test_unknown_kernel_rejected(self):
+        from repro.core import LocalJoinConfig, LocalTopKJoin
+        from repro.query.graph import QueryEdge, RTJQuery
+        from repro.temporal.interval import IntervalCollection
+        from repro.temporal.predicates import before
+
+        collection = IntervalCollection.from_tuples("c", [(0.0, 1.0)])
+        query = RTJQuery(
+            vertices=("x", "y"),
+            collections={"x": collection, "y": collection},
+            edges=(QueryEdge("x", "y", before(PredicateParams.boolean())),),
+            k=1,
+        )
+        with pytest.raises(ValueError, match="unknown join kernel"):
+            LocalTopKJoin(query, LocalJoinConfig(kernel="simd"))

@@ -4,6 +4,7 @@ import pytest
 
 from repro.baselines import naive_top_k
 from repro.core import (
+    TKIJ,
     CombinationSpace,
     LocalJoinConfig,
     LocalTopKJoin,
@@ -11,6 +12,8 @@ from repro.core import (
     collect_statistics,
 )
 from repro.experiments import build_query
+from repro.mapreduce import ClusterConfig
+from repro.streaming.parity import equivalent_top_k
 from repro.temporal import PredicateParams
 
 P1 = PredicateParams.of(4, 16, 0, 10)
@@ -124,3 +127,87 @@ class TestLocalJoinConfigurations:
         a.merge(b)
         assert (a.combinations_processed, a.combinations_skipped) == (11, 22)
         assert (a.candidates_examined, a.tuples_scored) == (33, 44)
+
+
+def _stats_tuple(stats):
+    return (
+        stats.combinations_processed,
+        stats.combinations_skipped,
+        stats.candidates_examined,
+        stats.tuples_scored,
+    )
+
+
+class TestKernelParity:
+    """Scalar vs vector kernel: tie-aware-identical top-k, identical counters.
+
+    Parity is exact by construction (same candidate order, same pruning
+    thresholds, bit-identical kernel floats), so the counters are compared
+    with ``==`` — any drift is a real bug, not noise.
+    """
+
+    @pytest.mark.parametrize("query_name", ["Qs,m", "Qb,b", "Qo,o", "Qo,m"])
+    @pytest.mark.parametrize("use_index", [True, False])
+    @pytest.mark.parametrize("early_termination", [True, False])
+    def test_local_join_kernels_agree(
+        self, tiny_collections, query_name, use_index, early_termination
+    ):
+        query = build_query(query_name, tiny_collections, P1, k=8)
+        _, selected, intervals = _prepare(query)
+        scalar_results, scalar_stats = LocalTopKJoin(
+            query,
+            LocalJoinConfig(
+                use_index=use_index, early_termination=early_termination, kernel="scalar"
+            ),
+        ).run(selected, intervals)
+        vector_results, vector_stats = LocalTopKJoin(
+            query,
+            LocalJoinConfig(
+                use_index=use_index, early_termination=early_termination, kernel="vector"
+            ),
+        ).run(selected, intervals)
+        assert equivalent_top_k(scalar_results, vector_results)
+        assert _stats_tuple(scalar_stats) == _stats_tuple(vector_stats)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("early_termination", [True, False])
+    def test_tkij_kernels_agree_across_backends(
+        self, tiny_collections, backend, early_termination
+    ):
+        """The kernel × backend matrix: every cell matches the serial scalar run."""
+        reports = {}
+        for kernel in ("scalar", "vector"):
+            query = build_query("Qo,m", tiny_collections, P1, k=10)
+            with TKIJ(
+                num_granules=4,
+                cluster=ClusterConfig(backend=backend, max_workers=2),
+                join_config=LocalJoinConfig(
+                    early_termination=early_termination, kernel=kernel
+                ),
+            ) as evaluator:
+                reports[kernel] = evaluator.execute(query)
+        scalar, vector = reports["scalar"], reports["vector"]
+        assert equivalent_top_k(scalar.results, vector.results)
+        assert _stats_tuple(scalar.local_join_stats) == _stats_tuple(vector.local_join_stats)
+        # The columnar mapper ships batches but accounts shuffled intervals.
+        assert scalar.join_metrics.counters.get(
+            "join.intervals_shuffled"
+        ) == vector.join_metrics.counters.get("join.intervals_shuffled")
+        # And the answer is the true one.
+        expected = naive_top_k(build_query("Qo,m", tiny_collections, P1, k=10))
+        assert equivalent_top_k(vector.results, expected)
+
+    def test_initial_threshold_respected_by_vector_kernel(self, tiny_collections):
+        """Seeding the floor prunes identically in both kernels (streaming path)."""
+        query = build_query("Qb,b", tiny_collections, P1, k=5)
+        _, selected, intervals = _prepare(query)
+        floor = 0.6
+        scalar_results, scalar_stats = LocalTopKJoin(
+            query, LocalJoinConfig(kernel="scalar")
+        ).run(selected, intervals, initial_threshold=floor)
+        vector_results, vector_stats = LocalTopKJoin(
+            query, LocalJoinConfig(kernel="vector")
+        ).run(selected, intervals, initial_threshold=floor)
+        assert equivalent_top_k(scalar_results, vector_results)
+        assert _stats_tuple(scalar_stats) == _stats_tuple(vector_stats)
+        assert all(result.score > floor for result in vector_results)

@@ -8,7 +8,7 @@ from hypothesis import HealthCheck, given, settings
 from repro.core import collect_statistics, get_top_buckets, merge_top_k, update_statistics
 from repro.core.bounds import BucketCombination
 from repro.core.distribution import distribute_top_buckets
-from repro.core.statistics import Granularity
+from repro.core.statistics import Granularity, bucket_counts
 from repro.core.top_buckets import validate_selection
 from repro.index import Rect, RTree, threshold_difference_range
 from repro.query.graph import ResultTuple
@@ -284,6 +284,48 @@ class TestStatisticsProperties:
         assert 0 <= index < num_granules
         low, high = granularity.granule_range(index)
         assert low - 1e-6 <= timestamp <= high + 1e-6
+
+    @_SETTINGS
+    @given(
+        time_min=st.floats(-1000, 1000),
+        span=st.floats(0, 1000),
+        num_granules=st.integers(1, 40),
+        fractions=st.lists(st.floats(-0.5, 1.5), min_size=1, max_size=50),
+    )
+    def test_vectorized_granules_match_scalar_elementwise(
+        self, time_min, span, num_granules, fractions
+    ):
+        """``granules_of`` is the vectorized path of phase (a); it must equal
+        ``granule_of`` exactly, including out-of-range clamping."""
+        import numpy as np
+
+        granularity = Granularity(time_min, time_min + span, num_granules)
+        timestamps = np.array([time_min + fraction * span for fraction in fractions])
+        batch = granularity.granules_of(timestamps)
+        assert list(batch) == [granularity.granule_of(t) for t in timestamps]
+
+    @_SETTINGS
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(0, 120),
+        num_granules=st.integers(1, 25),
+    )
+    def test_vectorized_bucket_histogram_matches_per_record_loop(
+        self, seed, n, num_granules
+    ):
+        """One ``bincount`` over the start/end columns == per-interval ``add``."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        starts = rng.uniform(0, 500, n)
+        ends = starts + rng.uniform(0, 80, n)
+        granularity = Granularity(0.0, 500.0, num_granules)
+        batched = bucket_counts(granularity, starts, ends)
+        reference: dict[tuple[int, int], int] = {}
+        for start, end in zip(starts, ends):
+            key = (granularity.granule_of(start), granularity.granule_of(end))
+            reference[key] = reference.get(key, 0) + 1
+        assert batched == reference
 
     @_SETTINGS
     @given(
