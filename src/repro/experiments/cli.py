@@ -17,7 +17,7 @@ import argparse
 from typing import Callable, Sequence
 
 from ..core import KERNELS
-from ..mapreduce import BACKEND_NAMES
+from ..mapreduce import BACKEND_NAMES, FaultPlan
 from ..plan import PLAN_MODES, REGISTRY, available_algorithms
 from .harness import ResultTable, run_single_query
 from .network_figures import (
@@ -36,7 +36,17 @@ from .synthetic_figures import (
 )
 from .workloads import QUERIES
 
-__all__ = ["EXPERIMENTS", "build_parser", "list_algorithms_table", "run_experiment", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "FAULT_EXPERIMENTS",
+    "ENGINELESS_EXPERIMENTS",
+    "build_parser",
+    "list_algorithms_table",
+    "load_fault_plan",
+    "validate_fault_options",
+    "run_experiment",
+    "main",
+]
 
 
 def _sizes(argument: str) -> tuple[int, ...]:
@@ -50,6 +60,13 @@ def _positive_int(argument: str) -> int:
     return value
 
 
+def _slowdown_factor(argument: str) -> float:
+    value = float(argument)
+    if value <= 1.0:
+        raise argparse.ArgumentTypeError("must be a factor greater than 1.0")
+    return value
+
+
 def _backend_kwargs(args: argparse.Namespace) -> dict[str, object]:
     """Execution-backend options forwarded to every engine-running driver."""
     return {"backend": args.backend, "max_workers": args.max_workers}
@@ -58,6 +75,64 @@ def _backend_kwargs(args: argparse.Namespace) -> dict[str, object]:
 def _run_kwargs(args: argparse.Namespace) -> dict[str, object]:
     """Backend plus planning options, for drivers that accept ``--plan auto``."""
     return {**_backend_kwargs(args), "plan": args.plan, "kernel": args.kernel}
+
+
+def _fault_kwargs(args: argparse.Namespace) -> dict[str, object]:
+    """Fault-tolerance options, for the experiments that support chaos demos."""
+    return {
+        # None means "not passed": resolve to the engine default here, so the
+        # default lives in exactly one place besides ClusterConfig.
+        "max_task_attempts": 4 if args.max_task_attempts is None else args.max_task_attempts,
+        "speculative_slowdown": args.speculative_slowdown,
+        "fault_plan": load_fault_plan(args.fault_plan),
+    }
+
+
+def load_fault_plan(source: "str | FaultPlan | None") -> FaultPlan | None:
+    """Resolve the ``--fault-plan`` option (a JSON path) into a :class:`FaultPlan`.
+
+    Already-built plans and ``None`` pass through, so drivers can be called
+    programmatically with either form.  Malformed files raise ``ValueError``
+    with the parse error (surfaced as an argparse error by :func:`main`).
+    """
+    if source is None or isinstance(source, FaultPlan):
+        return source
+    return FaultPlan.load(source)
+
+
+FAULT_EXPERIMENTS = frozenset({"run", "streaming"})
+"""Experiments that accept the fault-tolerance options (the chaos demos)."""
+
+ENGINELESS_EXPERIMENTS = frozenset({"fig7", "fig12"})
+"""Experiments that only characterise data and never run the engine."""
+
+
+def validate_fault_options(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Reject conflicting fault/experiment knob combinations with clear errors."""
+    fault_flags = [
+        flag
+        for flag, value in (
+            ("--fault-plan", args.fault_plan),
+            ("--speculative-slowdown", args.speculative_slowdown),
+            ("--max-task-attempts", args.max_task_attempts),
+        )
+        if value is not None
+    ]
+    if fault_flags and args.experiment in ENGINELESS_EXPERIMENTS:
+        parser.error(
+            f"{'/'.join(fault_flags)} cannot apply to {args.experiment!r}: "
+            "it only characterises data and never runs the engine"
+        )
+    if fault_flags and args.experiment not in FAULT_EXPERIMENTS:
+        parser.error(
+            f"{'/'.join(fault_flags)} is only supported by the "
+            f"{'/'.join(sorted(FAULT_EXPERIMENTS))} experiments"
+        )
+    if args.speculative_slowdown is not None and args.backend == "serial":
+        parser.error(
+            "--speculative-slowdown needs a pool backend "
+            "(--backend thread or process); the serial backend cannot race a backup"
+        )
 
 
 EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
@@ -108,6 +183,7 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
         k=args.k,
         num_granules=args.granules,
         **_run_kwargs(args),
+        **_fault_kwargs(args),
     ),
     # Generic registry dispatch: one query, any registered algorithm.
     "run": lambda args: run_single_query(
@@ -122,6 +198,7 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
         },
         backend=args.backend,
         max_workers=args.max_workers,
+        **_fault_kwargs(args),
     ),
 }
 """Experiment name -> driver invocation (parameterised by the parsed CLI options)."""
@@ -220,6 +297,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool size for the thread/process backends (default: CPU count)",
     )
     parser.add_argument(
+        "--max-task-attempts",
+        type=_positive_int,
+        default=None,
+        help=(
+            "per-task attempt budget of the engine (default 4, like Hadoop's "
+            "maxattempts); a task failing every attempt aborts the job "
+            "(run/streaming only)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON fault plan injected into every Map-Reduce task (deterministic "
+            "chaos demo; see DESIGN.md §9 for the format; run/streaming only)"
+        ),
+    )
+    parser.add_argument(
+        "--speculative-slowdown",
+        type=_slowdown_factor,
+        default=None,
+        metavar="FACTOR",
+        help=(
+            "speculatively duplicate tasks running FACTOR times past the batch "
+            "median (> 1.0; requires --backend thread or process)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -245,6 +352,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.experiment is None:
         parser.error("an experiment is required (or pass --list-algorithms)")
+    validate_fault_options(parser, args)
+    if args.fault_plan is not None:
+        try:
+            args.fault_plan = load_fault_plan(args.fault_plan)
+        except ValueError as error:
+            parser.error(str(error))
     table = run_experiment(args.experiment, args)
     if args.output:
         written = table.save(args.output)

@@ -18,7 +18,7 @@ from typing import Any, Mapping, Sequence
 
 from ..core import LocalJoinConfig, TKIJ, TKIJResult
 from ..datagen.synthetic import SyntheticConfig, generate_collections
-from ..mapreduce import ClusterConfig, ExecutionBackend
+from ..mapreduce import ClusterConfig, ExecutionBackend, FaultPlan
 from ..plan import ExecutionContext, RunReport, get_algorithm
 from ..query.graph import RTJQuery
 from ..solver import BranchAndBoundSolver
@@ -140,7 +140,10 @@ class TKIJRunConfig:
     run its joins serially or in parallel.  ``plan`` selects who configures the
     evaluator: ``manual`` uses this config's knobs verbatim, ``auto`` lets the
     cost-based :class:`repro.plan.AutoPlanner` choose granularity, strategy and
-    assigner from collected statistics.
+    assigner from collected statistics.  The fault-tolerance knobs
+    (``max_task_attempts``, ``speculative_slowdown``, ``fault_plan``) flow into
+    the cluster config — see DESIGN.md §9 — so demo runs can inject
+    deterministic chaos and still reproduce the fault-free figures.
     """
 
     num_granules: int = 20
@@ -157,6 +160,9 @@ class TKIJRunConfig:
     kernel: str | None = None
     """Local-join kernel.  ``None`` defers: scalar under manual planning, the
     planner's pick under ``plan="auto"``.  An explicit value always wins."""
+    max_task_attempts: int = 4
+    speculative_slowdown: float | None = None
+    fault_plan: FaultPlan | None = None
 
     def make_cluster(self) -> ClusterConfig:
         """The simulated-cluster description of this configuration."""
@@ -165,6 +171,9 @@ class TKIJRunConfig:
             num_mappers=self.num_mappers,
             backend=self.backend,
             max_workers=self.max_workers,
+            max_task_attempts=self.max_task_attempts,
+            speculative_slowdown=self.speculative_slowdown,
+            fault_plan=self.fault_plan,
         )
 
     def make_context(self, backend: ExecutionBackend | None = None) -> ExecutionContext:
@@ -277,13 +286,19 @@ def run_single_query(
     max_workers: int | None = None,
     num_reducers: int = 8,
     seed: int = 7,
+    max_task_attempts: int = 4,
+    speculative_slowdown: float | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ResultTable:
     """Generic driver: one Table-1 query, one registered algorithm, one report.
 
     Boolean-only algorithms automatically get the Boolean parameter set (PB).
     ``options`` holds generic knob candidates (``mode``, ``num_granules``, ...);
     each algorithm picks the subset it understands via ``plan_knobs``, so this
-    driver needs no per-algorithm branches.
+    driver needs no per-algorithm branches.  ``fault_plan`` (with
+    ``max_task_attempts``/``speculative_slowdown``) turns the run into a chaos
+    demo: faults are injected into every Map-Reduce task, retried away, and the
+    discarded attempts are tabulated alongside the usual metrics.
     """
     from .workloads import build_query
 
@@ -294,7 +309,12 @@ def run_single_query(
     )
     query = build_query(query_name, collections, params, k=k)
     config = TKIJRunConfig(
-        num_reducers=num_reducers, backend=backend, max_workers=max_workers
+        num_reducers=num_reducers,
+        backend=backend,
+        max_workers=max_workers,
+        max_task_attempts=max_task_attempts,
+        speculative_slowdown=speculative_slowdown,
+        fault_plan=fault_plan,
     )
     with config.make_context() as context:
         plan = algo.plan(query, context, **algo.plan_knobs(options or {}))
@@ -310,6 +330,15 @@ def run_single_query(
             table.add_row(metric=f"knob_{knob}", value=value)
     for metric, value in report.describe().items():
         table.add_row(metric=metric, value=value)
+    if fault_plan is not None or speculative_slowdown is not None:
+        failed = sum(len(metrics.failed_attempts) for metrics in report.metrics)
+        retried = sum(metrics.retried_tasks for metrics in report.metrics)
+        launches = sum(metrics.speculative_launches for metrics in report.metrics)
+        wins = sum(metrics.speculative_wins for metrics in report.metrics)
+        table.add_row(metric="failed_attempts", value=float(failed))
+        table.add_row(metric="retried_tasks", value=float(retried))
+        table.add_row(metric="speculative_launches", value=float(launches))
+        table.add_row(metric="speculative_wins", value=float(wins))
     if report.explanation is not None:
         for index, reason in enumerate(report.explanation.reasons):
             table.add_row(metric=f"plan_reason_{index}", value=reason)

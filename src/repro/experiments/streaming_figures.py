@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..datagen.synthetic import SyntheticConfig, generate_collections
+from ..mapreduce import FaultPlan
 from ..plan import get_algorithm
 from ..streaming import StreamingCollection, equivalent_top_k
 from .harness import ResultTable, TKIJRunConfig
@@ -39,8 +40,16 @@ def figure_streaming(
     kernel: str | None = None,
     compare_full: bool = True,
     seed: int = 7,
+    max_task_attempts: int = 4,
+    speculative_slowdown: float | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ResultTable:
-    """Per-batch streaming evaluation across a batch-count × batch-size sweep."""
+    """Per-batch streaming evaluation across a batch-count × batch-size sweep.
+
+    The fault knobs make this the streaming chaos demo: injected task faults
+    are retried inside every tick and the per-batch series stays identical to
+    a fault-free sweep (only latencies move).
+    """
     table = ResultTable(
         title=(
             f"Streaming — {query_name} ({params_name}), k={k}, g={num_granules}, "
@@ -54,7 +63,12 @@ def figure_streaming(
         ],
     )
     config = TKIJRunConfig(
-        num_reducers=num_reducers, backend=backend, max_workers=max_workers
+        num_reducers=num_reducers,
+        backend=backend,
+        max_workers=max_workers,
+        max_task_attempts=max_task_attempts,
+        speculative_slowdown=speculative_slowdown,
+        fault_plan=fault_plan,
     )
     streaming_algorithm = get_algorithm("tkij-streaming")
     static_algorithm = get_algorithm("tkij")

@@ -1,16 +1,27 @@
-"""Simulated Map-Reduce substrate: jobs, partitioners, engine, backends and metrics."""
+"""Simulated Map-Reduce substrate: jobs, partitioners, engine, backends, faults and metrics."""
 
 from .backends import (
     BACKENDS,
     ExecutionBackend,
+    GuardedTask,
     ProcessPoolBackend,
     SerialBackend,
+    TaskFailedError,
+    TaskFailure,
+    TaskResult,
     ThreadPoolBackend,
     create_backend,
 )
 from .cluster import BACKEND_NAMES, ClusterConfig, JobMetrics, TaskMetrics
 from .counters import Counters
-from .engine import JobResult, MapReduceEngine
+from .engine import JobResult, MapReduceEngine, create_cluster_backend
+from .faults import (
+    FAULT_ACTIONS,
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+)
 from .job import (
     FirstElementPartitioner,
     HashPartitioner,
@@ -31,11 +42,21 @@ __all__ = [
     "Counters",
     "JobResult",
     "MapReduceEngine",
+    "create_cluster_backend",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
     "create_backend",
+    "GuardedTask",
+    "TaskResult",
+    "TaskFailure",
+    "TaskFailedError",
+    "FAULT_ACTIONS",
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjectingBackend",
+    "InjectedFault",
     "FirstElementPartitioner",
     "HashPartitioner",
     "MapReduceJob",

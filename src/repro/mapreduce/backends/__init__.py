@@ -12,7 +12,17 @@ or construct one directly and hand it to the engine.
 """
 
 from ..cluster import BACKEND_NAMES
-from .base import ExecutionBackend, MapTask, ReduceTask, Task, TaskResult, execute_task
+from .base import (
+    ExecutionBackend,
+    GuardedTask,
+    MapTask,
+    ReduceTask,
+    Task,
+    TaskFailedError,
+    TaskFailure,
+    TaskResult,
+    execute_task,
+)
 from .processes import ProcessPoolBackend
 from .serial import SerialBackend
 from .threads import ThreadPoolBackend
@@ -25,7 +35,10 @@ __all__ = [
     "MapTask",
     "ReduceTask",
     "Task",
+    "GuardedTask",
     "TaskResult",
+    "TaskFailure",
+    "TaskFailedError",
     "execute_task",
     "BACKENDS",
     "create_backend",
@@ -41,8 +54,22 @@ BACKENDS: dict[str, type[ExecutionBackend]] = {
 assert set(BACKENDS) == set(BACKEND_NAMES), "backend registry out of sync with ClusterConfig"
 
 
-def create_backend(name: str, max_workers: int | None = None) -> ExecutionBackend:
-    """Instantiate a backend by name (``serial``, ``thread`` or ``process``)."""
+def create_backend(
+    name: str,
+    max_workers: int | None = None,
+    speculative_slowdown: float | None = None,
+    speculative_min_seconds: float = 0.05,
+) -> ExecutionBackend:
+    """Instantiate a backend by name (``serial``, ``thread`` or ``process``).
+
+    The speculation knobs opt the pool backends into straggler duplication
+    (see :class:`ExecutionBackend`); the serial backend accepts and ignores
+    them — a single inline worker has nothing to overlap.
+    """
     if name not in BACKENDS:
         raise ValueError(f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}")
-    return BACKENDS[name](max_workers=max_workers)
+    return BACKENDS[name](
+        max_workers=max_workers,
+        speculative_slowdown=speculative_slowdown,
+        speculative_min_seconds=speculative_min_seconds,
+    )

@@ -28,9 +28,12 @@ from ..job import KeyValue, MapReduceJob
 
 __all__ = [
     "TaskResult",
+    "TaskFailure",
+    "TaskFailedError",
     "MapTask",
     "ReduceTask",
     "Task",
+    "GuardedTask",
     "ExecutionBackend",
     "execute_task",
     "partition_sort_key",
@@ -47,6 +50,45 @@ class TaskResult:
     counters: Counters
 
 
+@dataclass
+class TaskFailure:
+    """One failed task attempt: what died, when, and with which error.
+
+    Failures travel through the same channel as results (backends return them
+    in task order like any :class:`TaskResult`), so every backend — including
+    the process pool, where a raised exception would poison the whole
+    ``Executor.map`` batch — reports per-task failures the engine can retry.
+    ``counters`` carries the discarded attempt's counters when they are known
+    (an injected post-execution fault); they are recorded in
+    :class:`~repro.mapreduce.cluster.JobMetrics` for observability but NEVER
+    merged into the job's counters, keeping fault runs byte-identical to
+    fault-free ones.
+    """
+
+    task_id: int
+    attempt: int
+    error_type: str
+    message: str
+    elapsed_seconds: float = 0.0
+    phase: str = ""
+    counters: Counters | None = None
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its attempt budget; carries the full attempt history."""
+
+    def __init__(self, job_name: str, phase: str, task_id: int, attempts: list[TaskFailure]):
+        self.job_name = job_name
+        self.phase = phase
+        self.task_id = task_id
+        self.attempts = list(attempts)
+        last = attempts[-1]
+        super().__init__(
+            f"{phase} task {task_id} of job {job_name!r} failed "
+            f"{len(attempts)} attempt(s); last error: {last.error_type}: {last.message}"
+        )
+
+
 @dataclass(frozen=True)
 class MapTask:
     """One map task: a fresh mapper applied to one input split.
@@ -54,6 +96,8 @@ class MapTask:
     ``split`` is a tuple on pickling backends; non-pickling backends may pass
     the engine's own split list directly (tasks only iterate it).
     """
+
+    phase = "map"
 
     job: MapReduceJob
     task_id: int
@@ -82,6 +126,8 @@ class ReduceTask:
     so that all backends emit identical output sequences.
     """
 
+    phase = "reduce"
+
     job: MapReduceJob
     task_id: int
     partition: dict[Any, list[Any]]
@@ -106,10 +152,52 @@ class ReduceTask:
         return TaskResult(self.task_id, outputs, metrics, counters)
 
 
-Task = Union[MapTask, ReduceTask]
+@dataclass(frozen=True)
+class GuardedTask:
+    """A task plus its attempt number, with failures captured as values.
+
+    The engine wraps every map/reduce task in one of these before handing the
+    batch to the backend: a raised exception (a mapper bug, an
+    :class:`~repro.mapreduce.faults.InjectedFault`) becomes a
+    :class:`TaskFailure` in the result list instead of killing the whole batch,
+    which is what makes task-level retries possible on every backend.  The
+    failed attempt's outputs and counters are dropped here — exactly-once
+    semantics are enforced at the capture point, not by the merge.
+
+    Attribute access falls through to the wrapped task (``job``, ``task_id``,
+    ``split``/``partition``, ``phase``), so backends and fault plans can
+    introspect a guarded task exactly like a raw one.
+    """
+
+    task: "MapTask | ReduceTask"
+    attempt: int = 0
+
+    def __call__(self) -> "TaskResult | TaskFailure":
+        started = time.perf_counter()
+        try:
+            return self.task()
+        except Exception as error:  # noqa: BLE001 - the capture point for retries
+            return TaskFailure(
+                task_id=self.task.task_id,
+                attempt=self.attempt,
+                error_type=type(error).__name__,
+                message=str(error),
+                elapsed_seconds=time.perf_counter() - started,
+                phase=self.task.phase,
+            )
+
+    def __getattr__(self, name: str) -> Any:
+        # Delegate everything the dataclass itself does not define; guard the
+        # underscore space so pickling a half-restored instance cannot recurse.
+        if name.startswith("_") or name == "task":
+            raise AttributeError(name)
+        return getattr(self.task, name)
 
 
-def execute_task(task: Task) -> TaskResult:
+Task = Union[MapTask, ReduceTask, GuardedTask]
+
+
+def execute_task(task: Task) -> "TaskResult | TaskFailure":
     """Run one task (module-level so executors can ship it to workers)."""
     return task()
 
@@ -132,19 +220,47 @@ class ExecutionBackend(ABC):
     path: map splits and shuffle partitions are handed to tasks as the very
     containers the engine built, skipping the defensive ``tuple``/``dict``
     copies that only exist to shrink pickles for the process backend.
+
+    ``speculative_slowdown`` opts a pool backend into speculative execution of
+    straggler tasks: once a task has run longer than ``slowdown × median`` of
+    the completed tasks of its batch (and at least ``speculative_min_seconds``),
+    a duplicate is launched and the first finisher wins — the loser is
+    cancelled, or its result discarded if already running.  Tasks are pure, so
+    whichever copy wins, outputs and counters are identical; only wall-clock
+    changes.  The serial backend ignores the knob (there is nothing to overlap).
+    ``speculative_launches``/``speculative_wins`` count duplicate launches and
+    the races a backup actually won.
     """
 
     name: str = "abstract"
     requires_pickling: bool = False
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        speculative_slowdown: float | None = None,
+        speculative_min_seconds: float = 0.05,
+    ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if speculative_slowdown is not None and speculative_slowdown <= 1.0:
+            raise ValueError("speculative_slowdown must exceed 1.0 (a straggler factor)")
+        if speculative_min_seconds < 0:
+            raise ValueError("speculative_min_seconds must be non-negative")
         self.max_workers = max_workers
+        self.speculative_slowdown = speculative_slowdown
+        self.speculative_min_seconds = speculative_min_seconds
+        self.speculative_launches = 0
+        self.speculative_wins = 0
 
     @abstractmethod
-    def run_tasks(self, tasks: Sequence[Task]) -> list[TaskResult]:
-        """Execute every task; result ``i`` corresponds to ``tasks[i]``."""
+    def run_tasks(self, tasks: Sequence[Task]) -> "list[TaskResult | TaskFailure]":
+        """Execute every task; result ``i`` corresponds to ``tasks[i]``.
+
+        A :class:`TaskFailure` entry reports a captured failed attempt (tasks
+        wrapped in :class:`GuardedTask` never raise); the engine decides
+        whether to retry it.
+        """
 
     def close(self) -> None:
         """Release worker resources (idempotent; the backend stays usable)."""

@@ -15,7 +15,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
-from .base import ExecutionBackend, Task, TaskResult, execute_task
+from .base import ExecutionBackend, Task, TaskFailure, TaskResult, execute_task
+from .speculation import run_tasks_with_speculation
 
 __all__ = ["ProcessPoolBackend"]
 
@@ -26,8 +27,13 @@ class ProcessPoolBackend(ExecutionBackend):
     name = "process"
     requires_pickling = True
 
-    def __init__(self, max_workers: int | None = None) -> None:
-        super().__init__(max_workers)
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        speculative_slowdown: float | None = None,
+        speculative_min_seconds: float = 0.05,
+    ) -> None:
+        super().__init__(max_workers, speculative_slowdown, speculative_min_seconds)
         self._executor: ProcessPoolExecutor | None = None
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -36,9 +42,21 @@ class ProcessPoolBackend(ExecutionBackend):
             self._executor = ProcessPoolExecutor(max_workers=workers)
         return self._executor
 
-    def run_tasks(self, tasks: Sequence[Task]) -> list[TaskResult]:
+    def run_tasks(self, tasks: Sequence[Task]) -> "list[TaskResult | TaskFailure]":
         if len(tasks) <= 1:
             return [task() for task in tasks]
+        if self.speculative_slowdown is not None:
+            # A speculative duplicate is pickled afresh for its own worker, so
+            # launch-scoped fault state (a fire-once injected delay) re-fires in
+            # the copy; speculation still preserves results — the duplicate is
+            # the same pure task — it just wins fewer races than on threads.
+            return run_tasks_with_speculation(
+                self._ensure_executor(),
+                tasks,
+                self.speculative_slowdown,
+                self.speculative_min_seconds,
+                self,
+            )
         # Executor.map preserves submission order, giving the deterministic
         # merge order the engine relies on.  chunksize=1 keeps the largest
         # task from serialising a whole chunk behind it.

@@ -1,0 +1,101 @@
+"""Speculative execution of straggler tasks on a ``concurrent.futures`` pool.
+
+This is the in-process analogue of Hadoop's speculative execution: the batch
+is submitted task by task, completions are observed as they happen, and any
+task that keeps running past ``slowdown × median`` of the completed tasks'
+durations (and past a floor of ``min_seconds``) gets a duplicate launch.  The
+first copy to finish supplies the task's result; the other is cancelled if it
+has not started, or its result silently discarded if it has — tasks are pure,
+so the race never changes outputs or counters, only wall-clock time.
+
+The helper is shared by the thread and process backends.  Results are returned
+in task order, preserving the deterministic-merge contract of
+:class:`~repro.mapreduce.backends.ExecutionBackend`.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
+from typing import TYPE_CHECKING, Sequence
+
+from .base import Task, TaskFailure, TaskResult, execute_task
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .base import ExecutionBackend
+
+__all__ = ["run_tasks_with_speculation"]
+
+_POLL_SECONDS = 0.02
+"""How often the watcher re-evaluates stragglers while no task completes."""
+
+
+def run_tasks_with_speculation(
+    executor: Executor,
+    tasks: Sequence[Task],
+    slowdown: float,
+    min_seconds: float,
+    backend: "ExecutionBackend",
+) -> "list[TaskResult | TaskFailure]":
+    """Run ``tasks`` with straggler duplication; results come back in task order.
+
+    ``backend.speculative_launches``/``speculative_wins`` are incremented for
+    every duplicate launched and every race a backup won.  Durations are
+    measured from submission, so a task queued behind a full pool can be
+    speculated too — the backup queues as well, which wastes at most one slot.
+    """
+    results: "list[TaskResult | TaskFailure | None]" = [None] * len(tasks)
+    settled = [False] * len(tasks)
+    index_of: dict[Future, int] = {}
+    primary: dict[int, Future] = {}
+    backup: dict[int, Future] = {}
+    submitted_at: dict[int, float] = {}
+
+    pending: set[Future] = set()
+    for index, task in enumerate(tasks):
+        future = executor.submit(execute_task, task)
+        index_of[future] = index
+        primary[index] = future
+        submitted_at[index] = time.perf_counter()
+        pending.add(future)
+
+    durations: list[float] = []
+    remaining = len(tasks)
+    while remaining:
+        done, pending = wait(pending, timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED)
+        now = time.perf_counter()
+        for future in done:
+            index = index_of[future]
+            if settled[index] or future.cancelled():
+                continue  # the loser of a settled race; its result is discarded
+            error = future.exception()
+            if error is not None:
+                # Unguarded tasks propagate like Executor.map would; guarded
+                # tasks report failures as TaskFailure values instead.
+                raise error
+            results[index] = future.result()
+            settled[index] = True
+            remaining -= 1
+            if not isinstance(results[index], TaskFailure):
+                # Failed attempts (an injected "fail" settles near-instantly)
+                # would drag the median toward zero and trigger a backup for
+                # every healthy task; the straggler baseline is successes only.
+                durations.append(now - submitted_at[index])
+            if backup.get(index) is future:
+                backend.speculative_wins += 1
+            loser = backup.get(index) if future is primary[index] else primary[index]
+            if loser is not None and loser is not future:
+                loser.cancel()
+        if remaining and durations:
+            threshold = max(min_seconds, slowdown * statistics.median(durations))
+            for index, is_settled in enumerate(settled):
+                if is_settled or index in backup:
+                    continue
+                if now - submitted_at[index] >= threshold:
+                    duplicate = executor.submit(execute_task, tasks[index])
+                    index_of[duplicate] = index
+                    backup[index] = duplicate
+                    pending.add(duplicate)
+                    backend.speculative_launches += 1
+    return results  # type: ignore[return-value] - every slot is settled

@@ -14,7 +14,8 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
-from .base import ExecutionBackend, Task, TaskResult, execute_task
+from .base import ExecutionBackend, Task, TaskFailure, TaskResult, execute_task
+from .speculation import run_tasks_with_speculation
 
 __all__ = ["ThreadPoolBackend"]
 
@@ -24,8 +25,13 @@ class ThreadPoolBackend(ExecutionBackend):
 
     name = "thread"
 
-    def __init__(self, max_workers: int | None = None) -> None:
-        super().__init__(max_workers)
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        speculative_slowdown: float | None = None,
+        speculative_min_seconds: float = 0.05,
+    ) -> None:
+        super().__init__(max_workers, speculative_slowdown, speculative_min_seconds)
         self._executor: ThreadPoolExecutor | None = None
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
@@ -36,9 +42,17 @@ class ThreadPoolBackend(ExecutionBackend):
             )
         return self._executor
 
-    def run_tasks(self, tasks: Sequence[Task]) -> list[TaskResult]:
+    def run_tasks(self, tasks: Sequence[Task]) -> "list[TaskResult | TaskFailure]":
         if len(tasks) <= 1:
             return [task() for task in tasks]
+        if self.speculative_slowdown is not None:
+            return run_tasks_with_speculation(
+                self._ensure_executor(),
+                tasks,
+                self.speculative_slowdown,
+                self.speculative_min_seconds,
+                self,
+            )
         # Executor.map preserves submission order, giving the deterministic
         # merge order the engine relies on.
         return list(self._ensure_executor().map(execute_task, tasks))

@@ -11,8 +11,13 @@ on a thread/process pool (see :mod:`repro.mapreduce.backends`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .counters import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (cycle-free)
+    from .backends.base import TaskFailure
+    from .faults import FaultPlan
 
 __all__ = ["BACKEND_NAMES", "ClusterConfig", "TaskMetrics", "JobMetrics"]
 
@@ -29,12 +34,25 @@ class ClusterConfig:
     ``backend`` selects how tasks execute (``serial``, ``thread`` or
     ``process``) and ``max_workers`` caps the worker pool of the parallel
     backends (``None`` lets the backend pick, typically the CPU count).
+
+    The fault-tolerance knobs mirror Hadoop's: ``max_task_attempts`` is the
+    total attempt budget per task (4, like ``mapreduce.map.maxattempts``; a
+    task whose every attempt fails raises
+    :class:`~repro.mapreduce.TaskFailedError`); ``speculative_slowdown`` opts
+    the pool backends into speculative re-execution of stragglers (``None``
+    disables it, a factor > 1 launches a backup once a task runs that many
+    times longer than the batch median); ``fault_plan`` injects a declarative
+    :class:`~repro.mapreduce.FaultPlan` into every backend the cluster creates
+    — the deterministic chaos hook the fault tests are built on.
     """
 
     num_reducers: int = 8
     num_mappers: int = 4
     backend: str = "serial"
     max_workers: int | None = None
+    max_task_attempts: int = 4
+    speculative_slowdown: float | None = None
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.num_reducers <= 0 or self.num_mappers <= 0:
@@ -45,21 +63,40 @@ class ClusterConfig:
             )
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if self.max_task_attempts <= 0:
+            raise ValueError("max_task_attempts must be positive")
+        if self.speculative_slowdown is not None and self.speculative_slowdown <= 1.0:
+            raise ValueError("speculative_slowdown must exceed 1.0")
+        if self.fault_plan is not None and not hasattr(self.fault_plan, "rule_for"):
+            raise ValueError("fault_plan must be a FaultPlan (or expose rule_for)")
 
 
 @dataclass
 class TaskMetrics:
-    """Wall-clock time and record counts of one map or reduce task."""
+    """Wall-clock time and record counts of one map or reduce task.
+
+    ``attempt`` is the attempt number that actually produced the task's output
+    (0 in a fault-free run; failed attempts are recorded separately in
+    :attr:`JobMetrics.failed_attempts`).
+    """
 
     task_id: int
     elapsed_seconds: float = 0.0
     input_records: int = 0
     output_records: int = 0
+    attempt: int = 0
 
 
 @dataclass
 class JobMetrics:
-    """Aggregate metrics of one executed Map-Reduce job."""
+    """Aggregate metrics of one executed Map-Reduce job.
+
+    ``failed_attempts`` records every discarded task attempt (retried or not)
+    and ``speculative_launches``/``speculative_wins`` the straggler
+    duplications — all *separate* from ``counters`` and the per-task lists, so
+    the user-visible replication/balance figures of a faulty run stay
+    byte-identical to a fault-free one.
+    """
 
     job_name: str
     map_tasks: list[TaskMetrics] = field(default_factory=list)
@@ -68,6 +105,14 @@ class JobMetrics:
     shuffle_size: int = 0
     counters: Counters = field(default_factory=Counters)
     elapsed_seconds: float = 0.0
+    failed_attempts: "list[TaskFailure]" = field(default_factory=list)
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+
+    @property
+    def retried_tasks(self) -> int:
+        """Number of distinct (phase, task) slots that lost at least one attempt."""
+        return len({(failure.phase, failure.task_id) for failure in self.failed_attempts})
 
     # -------------------------------------------------------------- summaries
     @property

@@ -20,6 +20,17 @@ CPU parallelism.  Backends return task results in task order and the engine
 merges outputs and counters from that order, so all parallelism-sensitive
 quantities (replication, balance, query results) are identical across backends —
 only wall-clock timings differ.
+
+The engine is fault-tolerant at the task level (DESIGN.md §9): every task is
+wrapped in a :class:`~repro.mapreduce.backends.GuardedTask` so a failing
+attempt comes back as a :class:`~repro.mapreduce.backends.TaskFailure` value
+instead of an exception, is retried with a fresh attempt number up to
+``ClusterConfig.max_task_attempts``, and only the winning attempt's outputs
+and counters are merged — failed attempts are recorded separately in
+:class:`~repro.mapreduce.cluster.JobMetrics`, keeping every user-visible
+figure byte-identical to a fault-free run.  A task that exhausts its budget
+raises :class:`~repro.mapreduce.backends.TaskFailedError` with the full
+attempt history.
 """
 
 from __future__ import annotations
@@ -29,12 +40,41 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from .backends import ExecutionBackend, MapTask, ReduceTask, create_backend
+from .backends import (
+    ExecutionBackend,
+    GuardedTask,
+    MapTask,
+    ReduceTask,
+    TaskFailedError,
+    TaskFailure,
+    TaskResult,
+    create_backend,
+)
 from .cluster import ClusterConfig, JobMetrics
 from .counters import Counters
+from .faults import FaultInjectingBackend
 from .job import KeyValue, MapReduceJob
 
-__all__ = ["JobResult", "MapReduceEngine"]
+__all__ = ["JobResult", "MapReduceEngine", "create_cluster_backend"]
+
+
+def create_cluster_backend(cluster: ClusterConfig) -> ExecutionBackend:
+    """Build the execution backend a cluster config describes.
+
+    One construction path for everyone (the engine, the plan
+    :class:`~repro.plan.ExecutionContext`): backend by name, speculation knobs
+    applied, and — when the config carries a fault plan — wrapped in a
+    :class:`~repro.mapreduce.faults.FaultInjectingBackend` so injected chaos
+    flows through the same retry machinery everywhere.
+    """
+    backend = create_backend(
+        cluster.backend,
+        cluster.max_workers,
+        speculative_slowdown=cluster.speculative_slowdown,
+    )
+    if cluster.fault_plan is not None:
+        backend = FaultInjectingBackend(backend, cluster.fault_plan)
+    return backend
 
 
 @dataclass
@@ -67,9 +107,7 @@ class MapReduceEngine:
     ) -> None:
         self.cluster = cluster or ClusterConfig()
         self._owns_backend = backend is None
-        self.backend = backend or create_backend(
-            self.cluster.backend, self.cluster.max_workers
-        )
+        self.backend = backend or create_cluster_backend(self.cluster)
         self.history: list[JobMetrics] = []
 
     # ------------------------------------------------------------------ public
@@ -90,7 +128,11 @@ class MapReduceEngine:
     def close(self) -> None:
         """Release the engine's own backend workers (idempotent).
 
-        Injected backends are left running — whoever created them closes them.
+        Safe to call any number of times, including after a job raised (a
+        failed job never leaves the backend in an unclosable state — worker
+        pools shut down regardless), and the engine stays usable afterwards:
+        pool backends lazily recreate their workers on the next job.  Injected
+        backends are left running — whoever created them closes them.
         """
         if self._owns_backend:
             self.backend.close()
@@ -102,6 +144,55 @@ class MapReduceEngine:
         self.close()
 
     # ------------------------------------------------------------------- phases
+    def _run_tasks_reliably(
+        self,
+        job: MapReduceJob,
+        tasks: "Sequence[MapTask | ReduceTask]",
+        phase: str,
+        metrics: JobMetrics,
+    ) -> list[TaskResult]:
+        """Execute one phase's tasks with retries; results come back in task order.
+
+        Every task is wrapped in a :class:`GuardedTask` carrying its attempt
+        number; failed attempts (returned as :class:`TaskFailure` values) are
+        recorded in ``metrics.failed_attempts`` — outputs and counters of the
+        failed attempt discarded, exactly-once — and the task is re-dispatched
+        with the next attempt number until it succeeds or the cluster's
+        ``max_task_attempts`` budget is exhausted, which raises a
+        :class:`TaskFailedError` carrying the attempt history.  Retry waves
+        preserve task order, so merges stay deterministic under any fault
+        schedule.  Speculation statistics are drained from the backend into the
+        job metrics per phase.
+        """
+        budget = self.cluster.max_task_attempts
+        outcomes: list[TaskResult | None] = [None] * len(tasks)
+        attempt = [0] * len(tasks)
+        history: dict[int, list[TaskFailure]] = defaultdict(list)
+        pending = list(range(len(tasks)))
+        spec_launches = self.backend.speculative_launches
+        spec_wins = self.backend.speculative_wins
+        while pending:
+            wave = [GuardedTask(task=tasks[index], attempt=attempt[index]) for index in pending]
+            retry: list[int] = []
+            for index, outcome in zip(pending, self.backend.run_tasks(wave)):
+                if isinstance(outcome, TaskFailure):
+                    outcome.phase = phase
+                    history[index].append(outcome)
+                    metrics.failed_attempts.append(outcome)
+                    if attempt[index] + 1 >= budget:
+                        raise TaskFailedError(
+                            job.name, phase, tasks[index].task_id, history[index]
+                        )
+                    attempt[index] += 1
+                    retry.append(index)
+                else:
+                    outcome.metrics.attempt = attempt[index]
+                    outcomes[index] = outcome
+            pending = retry
+        metrics.speculative_launches += self.backend.speculative_launches - spec_launches
+        metrics.speculative_wins += self.backend.speculative_wins - spec_wins
+        return outcomes  # type: ignore[return-value] - every slot is filled
+
     def _run_map_phase(
         self, job: MapReduceJob, records: Sequence[KeyValue], metrics: JobMetrics
     ) -> list[KeyValue]:
@@ -114,7 +205,7 @@ class MapReduceEngine:
             for task_id, split in enumerate(splits)
         ]
         intermediate: list[KeyValue] = []
-        for result in self.backend.run_tasks(tasks):
+        for result in self._run_tasks_reliably(job, tasks, "map", metrics):
             metrics.map_tasks.append(result.metrics)
             metrics.counters.merge(result.counters)
             intermediate.extend(result.outputs)
@@ -149,7 +240,7 @@ class MapReduceEngine:
         ]
         outputs: list[KeyValue] = []
         per_reducer: list[list[KeyValue]] = []
-        for result in self.backend.run_tasks(tasks):
+        for result in self._run_tasks_reliably(job, tasks, "reduce", metrics):
             metrics.reduce_tasks.append(result.metrics)
             metrics.counters.merge(result.counters)
             outputs.extend(result.outputs)

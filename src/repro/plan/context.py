@@ -11,19 +11,27 @@ collections change.
 
 from __future__ import annotations
 
+import copy
 import math
+import os
+import pickle
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
 
 from ..core.statistics import (
     DatasetStatistics,
     collect_statistics,
     update_statistics,
 )
-from ..mapreduce import ClusterConfig, ExecutionBackend, create_backend
+from ..mapreduce import ClusterConfig, ExecutionBackend, create_cluster_backend
 from ..temporal.interval import Interval, IntervalCollection
 
 __all__ = ["ExecutionContext", "StatisticsCache", "StatisticsKey"]
+
+CHECKPOINT_KIND = "execution-context"
+CHECKPOINT_VERSION = 1
+_CACHE_SNAPSHOT_KIND = "statistics-cache"
 
 StatisticsKey = tuple[tuple[str, ...], int]
 """Cache key: (sorted collection names, number of granules)."""
@@ -198,6 +206,31 @@ class StatisticsCache:
             maintained += 1
         return maintained
 
+    # ------------------------------------------------------------- checkpoints
+    def to_snapshot(self) -> dict[str, Any]:
+        """A deep-copied, picklable snapshot of every cached entry.
+
+        Value semantics: incremental :meth:`update` calls on the live cache
+        never leak into a snapshot already taken (entries are maintained *in
+        place*, so a shallow copy would).
+        """
+        return {
+            "kind": _CACHE_SNAPSHOT_KIND,
+            "version": CHECKPOINT_VERSION,
+            "entries": copy.deepcopy(self._entries),
+            "counters": {"hits": self.hits, "misses": self.misses, "updates": self.updates},
+        }
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Replace the cache contents with a :meth:`to_snapshot` payload."""
+        if not isinstance(snapshot, Mapping) or snapshot.get("kind") != _CACHE_SNAPSHOT_KIND:
+            raise ValueError("not a statistics-cache snapshot")
+        self._entries = copy.deepcopy(dict(snapshot["entries"]))
+        counters = snapshot.get("counters", {})
+        self.hits = counters.get("hits", 0)
+        self.misses = counters.get("misses", 0)
+        self.updates = counters.get("updates", 0)
+
     def refresh_fingerprints(
         self, collections: Mapping[str, IntervalCollection]
     ) -> None:
@@ -246,14 +279,83 @@ class ExecutionContext:
         return self.streams[key]
 
     def get_backend(self) -> ExecutionBackend:
-        """The shared execution backend (created from the cluster config on first use)."""
+        """The shared execution backend (created from the cluster config on first use).
+
+        Built through :func:`repro.mapreduce.create_cluster_backend`, so a
+        cluster config carrying speculation knobs or a fault plan shapes every
+        algorithm dispatched through this context, not just raw engines.
+        """
         if self.backend is not None:
             return self.backend
         if self._owned_backend is None:
-            self._owned_backend = create_backend(
-                self.cluster.backend, self.cluster.max_workers
-            )
+            self._owned_backend = create_cluster_backend(self.cluster)
         return self._owned_backend
+
+    # ------------------------------------------------------------- checkpoints
+    def checkpoint(self, path: str | Path | None = None) -> dict[str, Any]:
+        """Snapshot the context's durable query state (and optionally persist it).
+
+        The snapshot captures the statistics cache and every per-stream
+        evaluator state — everything a streaming evaluator needs to resume from
+        the last committed batch after the process dies.  With ``path`` the
+        snapshot is additionally pickled to disk via an atomic
+        write-then-rename, so a crash *during* checkpointing leaves the
+        previous checkpoint intact.  Cluster shape and worker pools are *not*
+        captured: a restored context keeps its own.
+        """
+        snapshot: dict[str, Any] = {
+            "kind": CHECKPOINT_KIND,
+            "version": CHECKPOINT_VERSION,
+            "statistics": self.statistics.to_snapshot(),
+            "streams": {
+                key: state.to_snapshot() if hasattr(state, "to_snapshot") else copy.deepcopy(state)
+                for key, state in self.streams.items()
+            },
+        }
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            staging = path.with_name(path.name + ".tmp")
+            with open(staging, "wb") as handle:
+                pickle.dump(snapshot, handle)
+            os.replace(staging, path)
+        return snapshot
+
+    def restore(self, source: "Mapping[str, Any] | str | Path") -> "ExecutionContext":
+        """Restore a :meth:`checkpoint` (an in-memory snapshot or a file path).
+
+        Replaces the statistics cache contents and the per-stream states;
+        stream-state payloads are rebuilt through
+        :meth:`repro.streaming.StreamState.from_snapshot`.  Returns ``self``
+        for chaining (``ExecutionContext().restore(path)``).
+        """
+        if isinstance(source, (str, Path)):
+            try:
+                with open(source, "rb") as handle:
+                    snapshot = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as error:
+                # A truncated/corrupted file surfaces as an unpickling or EOF
+                # error; report all of them under the one documented contract.
+                raise ValueError(f"cannot read checkpoint {str(source)!r}: {error}") from error
+        else:
+            snapshot = source
+        if not isinstance(snapshot, Mapping) or snapshot.get("kind") != CHECKPOINT_KIND:
+            raise ValueError("not an execution-context checkpoint")
+        if snapshot.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {snapshot.get('version')!r}")
+        if "statistics" not in snapshot or "streams" not in snapshot:
+            raise ValueError("checkpoint is missing its statistics/streams sections")
+        # Imported lazily: repro.streaming imports the plan package at load time.
+        from ..streaming.state import STREAM_STATE_KIND, StreamState
+
+        self.statistics.restore(snapshot["statistics"])
+        self.streams = {}
+        for key, payload in dict(snapshot["streams"]).items():
+            if isinstance(payload, Mapping) and payload.get("kind") == STREAM_STATE_KIND:
+                self.streams[key] = StreamState.from_snapshot(payload)
+            else:
+                self.streams[key] = copy.deepcopy(payload)
+        return self
 
     def close(self) -> None:
         """Release the context's own backend workers (injected backends stay up)."""

@@ -11,12 +11,16 @@ ticks processed by a single ``execute`` call.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 from ..query.graph import ResultTuple
 
 __all__ = ["BatchReport", "StreamState", "StreamingRunResult"]
+
+STREAM_STATE_KIND = "stream-state"
+STREAM_STATE_VERSION = 1
 
 
 @dataclass
@@ -44,6 +48,76 @@ class StreamState:
         if len(self.results) < k:
             return None
         return self.results[k - 1].score
+
+    # ------------------------------------------------------------- checkpoints
+    def bounds_fingerprint(self) -> tuple[Any, int]:
+        """Identity of the pairwise-bounds memo's validity epoch.
+
+        The memo holds bound primitives that stay valid while granule
+        boundaries are fixed, i.e. within one plan epoch: the granularity knob
+        plus the memo's own population identify what a restored copy must match.
+        """
+        return (self.knobs.get("num_granules"), len(self.pairwise_bounds))
+
+    def to_snapshot(self) -> dict[str, Any]:
+        """A self-contained, picklable snapshot of the evaluator state.
+
+        Everything is deep-copied, so the snapshot keeps *value* semantics: the
+        live state can keep evolving (or the process can die) without touching
+        what was captured.  Restoring with :meth:`from_snapshot` and replaying
+        the remaining batches is tie-aware-identical to never having stopped —
+        the checkpoint/recovery contract tested in ``tests/test_checkpoint.py``.
+        """
+        return copy.deepcopy(
+            {
+                "kind": STREAM_STATE_KIND,
+                "version": STREAM_STATE_VERSION,
+                "results": list(self.results),
+                "knobs": dict(self.knobs),
+                "explanation": self.explanation,
+                "initialized": self.initialized,
+                "base_size": self.base_size,
+                "appended_since_plan": self.appended_since_plan,
+                "batches_ingested": self.batches_ingested,
+                "replans": self.replans,
+                "pairwise_bounds": dict(self.pairwise_bounds),
+                "bounds_fingerprint": self.bounds_fingerprint(),
+            }
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "StreamState":
+        """Rebuild a state from :meth:`to_snapshot` output (validating the format).
+
+        The recorded bounds fingerprint is an *integrity* check on the snapshot
+        payload: a memo edited after the snapshot was taken (or mangled in
+        transit) no longer matches and is dropped rather than trusted.  It
+        cannot judge staleness against a restoring evaluator's future replans —
+        it does not need to: the evaluator resets the memo on every replan, and
+        the memo is a pure cache, so dropping it costs solver work on the next
+        batch, never correctness.
+        """
+        if not isinstance(snapshot, Mapping) or snapshot.get("kind") != STREAM_STATE_KIND:
+            raise ValueError("not a stream-state snapshot")
+        if snapshot.get("version") != STREAM_STATE_VERSION:
+            raise ValueError(
+                f"unsupported stream-state snapshot version {snapshot.get('version')!r}"
+            )
+        snapshot = copy.deepcopy(dict(snapshot))
+        state = cls(
+            results=list(snapshot["results"]),
+            knobs=dict(snapshot["knobs"]),
+            explanation=snapshot.get("explanation"),
+            initialized=snapshot["initialized"],
+            base_size=snapshot["base_size"],
+            appended_since_plan=snapshot["appended_since_plan"],
+            batches_ingested=snapshot["batches_ingested"],
+            replans=snapshot["replans"],
+            pairwise_bounds=dict(snapshot.get("pairwise_bounds", {})),
+        )
+        if snapshot.get("bounds_fingerprint") != state.bounds_fingerprint():
+            state.pairwise_bounds = {}
+        return state
 
 
 @dataclass

@@ -1,0 +1,115 @@
+"""Chaos parity matrix: every algorithm × kernel × backend under injected faults.
+
+The acceptance bar of the fault-tolerance layer: under a seeded
+:class:`~repro.mapreduce.FaultPlan` whose per-task failures stay within the
+attempt budget, every registered algorithm on every backend must produce
+results *and* user-visible counters byte-identical to its own fault-free run.
+The fault plan's seeded decisions are keyed by (job, phase, task), so the same
+chaos strikes the same tasks on every backend — the matrix would catch a
+backend whose retry path leaks partial outputs, double-merges counters, or
+reorders results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import SyntheticConfig, generate_collections
+from repro.experiments import build_query
+from repro.mapreduce import ClusterConfig, FaultPlan
+from repro.plan import ExecutionContext, available_algorithms, get_algorithm
+
+CHAOS_PLAN = FaultPlan(seed=13, failure_rate=0.35, max_failures_per_task=2)
+ATTEMPT_BUDGET = 4  # strictly above max_failures_per_task: every fault retried away
+
+BACKENDS = ("serial", "thread", "process")
+TKIJ_KERNELS = ("scalar", "vector")
+
+
+@pytest.fixture(scope="module")
+def chaos_collections():
+    config = SyntheticConfig(size=30, start_max=600.0, length_max=60.0)
+    return list(generate_collections(3, config, seed=77).values())
+
+
+def run_once(algorithm_name, collections, backend, kernel, fault_plan):
+    algorithm = get_algorithm(algorithm_name)
+    params = "P1" if algorithm.scored else "PB"
+    query = build_query("Qs,m", collections, params, k=8)
+    cluster = ClusterConfig(
+        num_reducers=4,
+        num_mappers=3,
+        backend=backend,
+        max_workers=2,
+        max_task_attempts=ATTEMPT_BUDGET,
+        fault_plan=fault_plan,
+    )
+    options = {"kernel": kernel} if kernel is not None else {}
+    with ExecutionContext(cluster=cluster) as context:
+        report = algorithm.run(query, context, **algorithm.plan_knobs(options))
+    return report
+
+
+def metric_fingerprint(report):
+    """Everything user-visible a fault could corrupt, minus wall-clock noise."""
+    return [
+        (
+            metrics.job_name,
+            metrics.shuffle_records,
+            metrics.shuffle_size,
+            [task.task_id for task in metrics.map_tasks],
+            [task.task_id for task in metrics.reduce_tasks],
+            sorted(metrics.counters.as_dict().items()),
+        )
+        for metrics in report.metrics
+    ]
+
+
+def assert_chaos_parity(algorithm_name, collections, backend, kernel=None):
+    reference = run_once(algorithm_name, collections, backend, kernel, fault_plan=None)
+    chaotic = run_once(algorithm_name, collections, backend, kernel, fault_plan=CHAOS_PLAN)
+    label = f"{algorithm_name}/{kernel}/{backend}"
+    assert [(r.uids, r.score) for r in chaotic.results] == [
+        (r.uids, r.score) for r in reference.results
+    ], label
+    assert metric_fingerprint(chaotic) == metric_fingerprint(reference), label
+    assert all(metrics.failed_attempts == [] for metrics in reference.metrics), label
+    return sum(len(metrics.failed_attempts) for metrics in chaotic.metrics)
+
+
+class TestChaosParityMatrix:
+    def test_registry_is_fully_covered(self):
+        """The matrix below must break when someone registers a new algorithm."""
+        assert set(available_algorithms()) == {
+            "tkij",
+            "tkij-streaming",
+            "naive",
+            "allmatrix",
+            "rccis",
+        }
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kernel", TKIJ_KERNELS)
+    def test_tkij(self, chaos_collections, backend, kernel):
+        injected = assert_chaos_parity("tkij", chaos_collections, backend, kernel)
+        assert injected > 0, "the seeded plan should strike at least one tkij task"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kernel", TKIJ_KERNELS)
+    def test_tkij_streaming_one_shot(self, chaos_collections, backend, kernel):
+        # Static collections: the streaming evaluator degrades to a one-shot
+        # full evaluation, exercising its pipeline under the same chaos.
+        assert_chaos_parity("tkij-streaming", chaos_collections, backend, kernel)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_allmatrix(self, chaos_collections, backend):
+        assert_chaos_parity("allmatrix", chaos_collections, backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rccis(self, chaos_collections, backend):
+        assert_chaos_parity("rccis", chaos_collections, backend)
+
+    def test_naive(self, chaos_collections):
+        # The in-process oracle never runs the engine; the fault plan must be
+        # a no-op rather than an error.
+        assert_chaos_parity("naive", chaos_collections, "serial") == 0

@@ -1,14 +1,20 @@
 """Tests for the experiment command-line interface."""
 
+import json
+
 import pytest
 
 from repro.experiments.cli import (
+    ENGINELESS_EXPERIMENTS,
     EXPERIMENTS,
+    FAULT_EXPERIMENTS,
     build_parser,
     list_algorithms_table,
+    load_fault_plan,
     main,
     run_experiment,
 )
+from repro.mapreduce import FaultPlan
 from repro.plan import available_algorithms
 
 
@@ -126,3 +132,114 @@ class TestRegistryDispatch:
         out = capsys.readouterr().out
         assert "All-Matrix" in out
         assert "PB" in out
+
+
+@pytest.fixture()
+def chaos_plan_file(tmp_path):
+    path = tmp_path / "chaos.json"
+    path.write_text(
+        json.dumps(
+            {
+                "seed": 7,
+                "failure_rate": 0.4,
+                "max_failures_per_task": 2,
+                "rules": [
+                    {"action": "fail", "phase": "map", "task": 0, "attempts": [0]}
+                ],
+            }
+        )
+    )
+    return path
+
+
+class TestFaultOptions:
+    """Error paths and the chaos-demo happy path of the fault-tolerance flags."""
+
+    def test_fault_experiment_sets_are_consistent(self):
+        assert FAULT_EXPERIMENTS <= set(EXPERIMENTS)
+        assert ENGINELESS_EXPERIMENTS <= set(EXPERIMENTS)
+        assert not FAULT_EXPERIMENTS & ENGINELESS_EXPERIMENTS
+
+    def test_load_fault_plan_passthrough(self, chaos_plan_file):
+        plan = load_fault_plan(chaos_plan_file)
+        assert isinstance(plan, FaultPlan)
+        assert load_fault_plan(plan) is plan
+        assert load_fault_plan(None) is None
+
+    def test_run_with_fault_plan_reports_chaos_metrics(self, chaos_plan_file, capsys):
+        code = main(
+            ["run", "--size", "30", "--k", "5", "--fault-plan", str(chaos_plan_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failed_attempts" in out
+        assert "retried_tasks" in out
+
+    def test_streaming_with_fault_plan_runs(self, chaos_plan_file, capsys):
+        code = main(
+            [
+                "streaming",
+                "--stream-batches", "3",
+                "--stream-batch-size", "10",
+                "--k", "5",
+                "--granules", "5",
+                "--fault-plan", str(chaos_plan_file),
+            ]
+        )
+        assert code == 0
+        assert "Streaming" in capsys.readouterr().out
+
+    def test_missing_fault_plan_file_errors(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--fault-plan", str(tmp_path / "missing.json")])
+        assert "cannot read fault plan" in capsys.readouterr().err
+
+    def test_invalid_fault_plan_json_errors(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit):
+            main(["run", "--fault-plan", str(path)])
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_fault_plan_keys_error(self, tmp_path, capsys):
+        path = tmp_path / "keys.json"
+        path.write_text('{"failure_rte": 0.5}')
+        with pytest.raises(SystemExit):
+            main(["run", "--fault-plan", str(path)])
+        assert "unknown fault-plan keys" in capsys.readouterr().err
+
+    def test_fault_plan_conflicts_with_engineless_experiment(self, chaos_plan_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig7", "--fault-plan", str(chaos_plan_file)])
+        assert "never runs the engine" in capsys.readouterr().err
+
+    def test_fault_plan_conflicts_with_sweep_experiments(self, chaos_plan_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig11", "--fault-plan", str(chaos_plan_file)])
+        assert "only supported by" in capsys.readouterr().err
+
+    def test_max_task_attempts_conflicts_outside_fault_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--max-task-attempts", "2"])
+        assert "--max-task-attempts" in capsys.readouterr().err
+
+    def test_explicitly_passing_the_default_budget_still_conflicts(self, capsys):
+        # Passing the flag counts as using it, even at its default value.
+        with pytest.raises(SystemExit):
+            main(["fig8", "--max-task-attempts", "4"])
+        assert "--max-task-attempts" in capsys.readouterr().err
+
+    def test_speculative_slowdown_conflicts_with_serial_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--speculative-slowdown", "2.0"])
+        assert "pool backend" in capsys.readouterr().err
+
+    def test_speculative_slowdown_must_exceed_one(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--backend", "thread", "--speculative-slowdown", "0.5"])
+        assert "greater than 1.0" in capsys.readouterr().err
+
+    def test_max_task_attempts_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--max-task-attempts", "0"])
+        assert "positive integer" in capsys.readouterr().err
