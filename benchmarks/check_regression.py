@@ -9,10 +9,14 @@ Usage::
 All files are ``pytest-benchmark --benchmark-json`` outputs; several current
 files may be passed (e.g. the streaming and kernel jobs) and are merged.
 Benchmarks are matched by ``fullname`` and compared **like for like**: each
-benchmark's ``extra_info`` metadata (kernel, backend, workload, ...) must
-equal the baseline's, otherwise the pair measures different configurations
-and is reported but not compared.  A benchmark whose mean time exceeds
-``threshold`` times its baseline mean fails the check.  Benchmarks present on
+benchmark's ``extra_info`` *configuration* metadata (kernel, backend,
+workload, ...) must equal the baseline's, otherwise the pair measures
+different configurations and is reported but not compared.  The
+``extra_info`` keys named in :data:`MEASUREMENT_KEYS` (peak RSS, spilled
+bytes) are measurements, not configuration: they never gate the metadata
+match and are instead ratio-compared against the baseline's values exactly
+like the mean time.  A benchmark whose mean time — or any shared measurement
+key — exceeds ``threshold`` times its baseline fails the check.  Benchmarks present on
 only one side are reported but never fail (new benchmarks have no baseline
 yet; deleted ones no longer matter).  A missing baseline file skips the check
 entirely (exit 0) so the job stays green until a baseline is committed.
@@ -27,7 +31,21 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "baseline" / "BENCH_baseline.json"
 
+MEASUREMENT_KEYS = ("peak_rss_bytes", "bytes_spilled")
+"""``extra_info`` keys that carry measured quantities, not configuration.
+
+They are excluded from the like-for-like metadata match and ratio-compared
+against the baseline like the mean time (bench_shuffle.py records them).
+"""
+
 Entry = tuple[float, dict]
+
+
+def split_meta(meta: dict) -> tuple[dict, dict]:
+    """Split ``extra_info`` into (configuration, measurements)."""
+    config = {key: value for key, value in meta.items() if key not in MEASUREMENT_KEYS}
+    measures = {key: meta[key] for key in MEASUREMENT_KEYS if key in meta}
+    return config, measures
 
 
 def load_entries(path: Path) -> dict[str, Entry]:
@@ -87,12 +105,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"NEW      {fullname}: {mean:.4f}s (no baseline)")
             continue
         reference_mean, reference_meta = reference
-        if meta != reference_meta:
+        config, measures = split_meta(meta)
+        reference_config, reference_measures = split_meta(reference_meta)
+        if config != reference_config:
             # Different kernel/backend/workload: not the same experiment, so a
             # time comparison would be meaningless. Reported, never failed.
             print(
                 f"META     {fullname}: metadata changed "
-                f"({reference_meta!r} -> {meta!r}); skipping comparison"
+                f"({reference_config!r} -> {config!r}); skipping comparison"
             )
             continue
         ratio = mean / reference_mean if reference_mean > 0 else float("inf")
@@ -103,6 +123,22 @@ def main(argv: list[str] | None = None) -> int:
         )
         if ratio > args.threshold:
             failures.append((fullname, ratio))
+        for key in sorted(measures.keys() & reference_measures.keys()):
+            reference_value = float(reference_measures[key])
+            value = float(measures[key])
+            if reference_value <= 0:
+                # A baseline that never spilled (or recorded 0) has no scale
+                # to compare against; report the new value without gating.
+                print(f"NEW      {fullname}[{key}]: {value:.0f} (baseline 0)")
+                continue
+            key_ratio = value / reference_value
+            key_status = "FAIL" if key_ratio > args.threshold else "ok"
+            print(
+                f"{key_status:8} {fullname}[{key}]: {value:.0f} vs baseline "
+                f"{reference_value:.0f} ({key_ratio:.2f}x)"
+            )
+            if key_ratio > args.threshold:
+                failures.append((f"{fullname}[{key}]", key_ratio))
     for fullname in sorted(set(baseline) - set(current)):
         print(f"MISSING  {fullname}: present in baseline only")
 

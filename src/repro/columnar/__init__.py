@@ -8,6 +8,7 @@ through ``LocalJoinConfig.kernel`` (see DESIGN.md §8).
 """
 
 from .columns import FixedInterval, IntervalColumns, as_columns, as_intervals
+from .shm import SharedIntervalColumns, SharedMemoryPool
 from .kernels import (
     VectorScorer,
     box_mask,
@@ -20,6 +21,8 @@ from .kernels import (
 __all__ = [
     "FixedInterval",
     "IntervalColumns",
+    "SharedIntervalColumns",
+    "SharedMemoryPool",
     "as_columns",
     "as_intervals",
     "VectorScorer",

@@ -54,6 +54,21 @@ class IntervalColumns:
     def __len__(self) -> int:
         return len(self.uids)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes of dense column data (what a shuffle or spill must move)."""
+        return int(self.uids.nbytes + self.starts.nbytes + self.ends.nbytes)
+
+    def transfer_nbytes(self) -> int:
+        """Estimated transfer size: the columns plus a nominal payload charge.
+
+        Payloads are arbitrary Python objects; 16 bytes each is the same
+        order-of-magnitude charge the scalar estimator uses, which keeps the
+        shuffle-byte accounting identical across kernels and strategies.
+        """
+        payload_bytes = 16 * len(self.payloads) if self.payloads is not None else 0
+        return self.nbytes + payload_bytes
+
     # -------------------------------------------------------------- factories
     @classmethod
     def from_intervals(cls, intervals: Iterable[Interval]) -> "IntervalColumns":

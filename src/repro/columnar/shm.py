@@ -1,0 +1,284 @@
+"""Shared-memory interval batches: zero-copy columnar shuffle transfer.
+
+A :class:`SharedIntervalColumns` is an :class:`~repro.columnar.IntervalColumns`
+whose three dense columns live in one ``multiprocessing.shared_memory`` segment
+instead of private heap arrays.  Pickling one ships only a ``(segment name,
+dtype, shape)`` descriptor — a few dozen bytes — and unpickling in a worker
+process attaches to the segment and rebuilds the numpy views in place, so the
+process backend moves record batches across task boundaries without copying the
+column data at all (DESIGN.md §10).
+
+Segment lifetime is owned by the *driver* through a :class:`SharedMemoryPool`:
+the pool deduplicates batches (the shuffle routes the same batch to several
+reducers; it must become one segment, not one per route), refcounts the
+segments it created, and unlinks them when the engine closes the job — on the
+success path and on the :class:`~repro.mapreduce.TaskFailedError` path alike,
+so retried or abandoned tasks never leak ``/dev/shm`` entries.  Worker-side
+attachments only ever ``close``; they never unlink.
+
+The columns of a shared batch are read-only views.  Nothing in the kernels
+writes a batch in place (they build masks and copies), and marking the views
+read-only turns any future in-place mutation — which would silently diverge
+between transfer strategies — into an immediate ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .columns import IntervalColumns
+
+__all__ = ["SharedIntervalColumns", "SharedMemoryPool", "SEGMENT_PREFIX"]
+
+SEGMENT_PREFIX = "tkij-shm-"
+"""Name prefix of every segment this module creates.  The CI leak gate greps
+``/dev/shm`` for this prefix after the test suite, so keep it recognisable."""
+
+_segment_counter = itertools.count()
+
+# One segment packs the three columns back to back.  Every column element is
+# 8 bytes wide, so each section offset stays 8-byte aligned automatically.
+_UIDS_DTYPE = np.dtype(np.int64)
+_TIME_DTYPE = np.dtype(np.float64)
+_ROW_BYTES = _UIDS_DTYPE.itemsize + 2 * _TIME_DTYPE.itemsize
+
+
+def _next_segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{next(_segment_counter)}"
+
+
+_attach_lock = threading.Lock()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    Python < 3.13 registers every attachment with the ``resource_tracker``,
+    which then "cleans up" (unlinks!) the segment when *any* attaching process
+    exits and warns about it at shutdown.  The driver owns unlinking; an
+    attachment must not be tracked at all.  3.13+ exposes ``track=False`` for
+    exactly this; on older versions, suppress the registration call for the
+    duration of the attach — merely unregistering *after* would collide with
+    the driver's own registration in the shared tracker process (register is
+    set-semantics there, so attach+unregister would erase the creator's entry
+    and make the eventual ``unlink`` spew KeyError tracebacks).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - exercised on < 3.13 only
+        from multiprocessing import resource_tracker
+
+        with _attach_lock:
+            original_register = resource_tracker.register
+
+            def _register_untracked(resource_name: str, rtype: str) -> None:
+                if rtype != "shared_memory":
+                    original_register(resource_name, rtype)
+
+            resource_tracker.register = _register_untracked
+            try:
+                return shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original_register
+
+
+def _column_views(
+    segment: shared_memory.SharedMemory, length: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The three read-only column views over one segment's buffer."""
+    uids = np.frombuffer(segment.buf, dtype=_UIDS_DTYPE, count=length, offset=0)
+    starts = np.frombuffer(
+        segment.buf,
+        dtype=_TIME_DTYPE,
+        count=length,
+        offset=length * _UIDS_DTYPE.itemsize,
+    )
+    ends = np.frombuffer(
+        segment.buf,
+        dtype=_TIME_DTYPE,
+        count=length,
+        offset=length * (_UIDS_DTYPE.itemsize + _TIME_DTYPE.itemsize),
+    )
+    for view in (uids, starts, ends):
+        view.flags.writeable = False
+    return uids, starts, ends
+
+
+@dataclass(frozen=True)
+class SharedIntervalColumns(IntervalColumns):
+    """An interval batch backed by one shared-memory segment.
+
+    Behaves exactly like its base class everywhere downstream (the join
+    reducers only check ``isinstance(value, IntervalColumns)``); the only
+    differences are where the column bytes live and what a pickle contains.
+    ``payloads`` still travel by value — they are arbitrary Python objects,
+    rare, and outside the fixed-dtype contract of the segment.
+    """
+
+    _segment: shared_memory.SharedMemory | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def create(
+        cls, columns: IntervalColumns, name: str | None = None
+    ) -> "SharedIntervalColumns":
+        """Copy ``columns`` into a fresh shared segment (the one copy there is)."""
+        length = len(columns)
+        size = max(1, length * _ROW_BYTES)
+        while True:
+            segment_name = name or _next_segment_name()
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=segment_name, create=True, size=size
+                )
+                break
+            except FileExistsError:
+                # A stale segment from a crashed run holds the name; pick the
+                # next one rather than adopting bytes we did not write.
+                name = None
+        write_uids = np.frombuffer(segment.buf, dtype=_UIDS_DTYPE, count=length)
+        write_starts = np.frombuffer(
+            segment.buf,
+            dtype=_TIME_DTYPE,
+            count=length,
+            offset=length * _UIDS_DTYPE.itemsize,
+        )
+        write_ends = np.frombuffer(
+            segment.buf,
+            dtype=_TIME_DTYPE,
+            count=length,
+            offset=length * (_UIDS_DTYPE.itemsize + _TIME_DTYPE.itemsize),
+        )
+        write_uids[:] = columns.uids
+        write_starts[:] = columns.starts
+        write_ends[:] = columns.ends
+        uids, starts, ends = _column_views(segment, length)
+        return cls(uids, starts, ends, columns.payloads, None, _segment=segment)
+
+    @property
+    def segment_name(self) -> str | None:
+        """The shared segment's name (``None`` once released)."""
+        return self._segment.name if self._segment is not None else None
+
+    # -------------------------------------------------------------- lifecycle
+    def release(self, unlink: bool = False) -> None:
+        """Drop this instance's views and close (optionally unlink) its segment.
+
+        After ``release`` the batch is unusable; only the pool (driver side,
+        ``unlink=True``) and garbage collection call it.  Closing requires the
+        exported column views to be dropped first; if some caller still holds a
+        raw column slice the close is skipped — the mapping then lives until
+        that reference dies, but the name is still removed from ``/dev/shm``.
+        """
+        segment = self.__dict__.get("_segment")
+        if segment is None:
+            return
+        object.__setattr__(self, "_segment", None)
+        for column in ("uids", "starts", "ends", "_intervals"):
+            object.__setattr__(self, column, None)
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - an external view pins the map
+            pass
+        if unlink:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def __del__(self) -> None:
+        # Drop the views before the segment so SharedMemory.__del__ never
+        # trips over its own exported buffers ("Exception ignored" noise).
+        try:
+            self.release(unlink=False)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Ship the descriptor, not the bytes (the whole point of the class)."""
+        segment = self.__dict__.get("_segment")
+        if segment is None:
+            raise ValueError("cannot pickle a released SharedIntervalColumns")
+        return {
+            "shm_name": segment.name,
+            "length": len(self.uids),
+            "dtypes": (_UIDS_DTYPE.str, _TIME_DTYPE.str, _TIME_DTYPE.str),
+            "payloads": self.payloads,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        segment = _attach_segment(state["shm_name"])
+        uids, starts, ends = _column_views(segment, state["length"])
+        object.__setattr__(self, "uids", uids)
+        object.__setattr__(self, "starts", starts)
+        object.__setattr__(self, "ends", ends)
+        object.__setattr__(self, "payloads", state["payloads"])
+        object.__setattr__(self, "_intervals", None)
+        object.__setattr__(self, "_segment", segment)
+
+
+class SharedMemoryPool:
+    """Driver-side registry of the segments one transfer strategy created.
+
+    ``share`` is idempotent per source batch: the shuffle replicates the same
+    ``IntervalColumns`` object into several partitions, and all of them must
+    resolve to the *same* segment.  Each distinct source holds one reference;
+    ``release_job`` drops them all and unlinks every segment whose count hits
+    zero — the engine calls it in a ``finally`` on job close, so the failure
+    and retry paths of :class:`~repro.mapreduce.GuardedTask` are covered too.
+    """
+
+    def __init__(self) -> None:
+        # id() keys need the source object kept alive alongside, or a recycled
+        # id could alias a new batch onto a stale segment.
+        self._by_source: dict[int, tuple[IntervalColumns, SharedIntervalColumns]] = {}
+        self._refcounts: dict[str, int] = {}
+        self._segments: dict[str, SharedIntervalColumns] = {}
+        self.segments_created = 0
+        self.bytes_shared = 0
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def share(self, columns: IntervalColumns) -> SharedIntervalColumns:
+        """The shared twin of ``columns`` (created once per source object)."""
+        if isinstance(columns, SharedIntervalColumns):
+            return columns
+        cached = self._by_source.get(id(columns))
+        if cached is not None and cached[0] is columns:
+            return cached[1]
+        shared = SharedIntervalColumns.create(columns)
+        name = shared.segment_name or ""
+        self._by_source[id(columns)] = (columns, shared)
+        self._segments[name] = shared
+        self._refcounts[name] = self._refcounts.get(name, 0) + 1
+        self.segments_created += 1
+        self.bytes_shared += len(shared) * _ROW_BYTES
+        return shared
+
+    def release_job(self) -> None:
+        """Drop the current job's references; unlink segments nobody holds."""
+        self._by_source.clear()
+        for name, count in list(self._refcounts.items()):
+            remaining = count - 1
+            if remaining > 0:  # pragma: no cover - single-job pools today
+                self._refcounts[name] = remaining
+                continue
+            del self._refcounts[name]
+            self._segments.pop(name).release(unlink=True)
+
+    def close(self) -> None:
+        """Unconditionally unlink everything (end of the engine's life)."""
+        self._by_source.clear()
+        self._refcounts.clear()
+        for shared in list(self._segments.values()):
+            shared.release(unlink=True)
+        self._segments.clear()

@@ -17,7 +17,7 @@ import argparse
 from typing import Callable, Sequence
 
 from ..core import KERNELS
-from ..mapreduce import BACKEND_NAMES, FaultPlan
+from ..mapreduce import BACKEND_NAMES, TRANSFER_NAMES, FaultPlan
 from ..plan import PLAN_MODES, REGISTRY, available_algorithms
 from .harness import ResultTable, run_single_query
 from .network_figures import (
@@ -67,9 +67,35 @@ def _slowdown_factor(argument: str) -> float:
     return value
 
 
+_BYTE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def _byte_size(argument: str) -> int:
+    """A positive byte count, accepting ``k``/``m``/``g`` binary suffixes (``64m``)."""
+    text = argument.strip().lower().removesuffix("b")
+    multiplier = 1
+    if text and text[-1] in _BYTE_SUFFIXES:
+        multiplier = _BYTE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        value = int(text) * multiplier
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid byte size {argument!r}; expected e.g. 1048576, 64k, 16M or 1g"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive byte count")
+    return value
+
+
 def _backend_kwargs(args: argparse.Namespace) -> dict[str, object]:
     """Execution-backend options forwarded to every engine-running driver."""
-    return {"backend": args.backend, "max_workers": args.max_workers}
+    return {
+        "backend": args.backend,
+        "max_workers": args.max_workers,
+        "transfer": args.transfer,
+        "memory_budget_bytes": args.memory_budget,
+    }
 
 
 def _run_kwargs(args: argparse.Namespace) -> dict[str, object]:
@@ -133,6 +159,19 @@ def validate_fault_options(parser: argparse.ArgumentParser, args: argparse.Names
             "--speculative-slowdown needs a pool backend "
             "(--backend thread or process); the serial backend cannot race a backup"
         )
+    shuffle_flags = [
+        flag
+        for flag, value in (
+            ("--transfer", args.transfer),
+            ("--memory-budget", args.memory_budget),
+        )
+        if value is not None
+    ]
+    if shuffle_flags and args.experiment in ENGINELESS_EXPERIMENTS:
+        parser.error(
+            f"{'/'.join(shuffle_flags)} cannot apply to {args.experiment!r}: "
+            "it only characterises data and never runs the engine"
+        )
 
 
 EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
@@ -195,9 +234,13 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ResultTable]] = {
             "mode": args.plan,
             "num_granules": args.granules,
             "kernel": args.kernel,
+            "transfer": args.transfer,
+            "memory_budget_bytes": args.memory_budget,
         },
         backend=args.backend,
         max_workers=args.max_workers,
+        transfer=args.transfer,
+        memory_budget_bytes=args.memory_budget,
         **_fault_kwargs(args),
     ),
 }
@@ -295,6 +338,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="worker pool size for the thread/process backends (default: CPU count)",
+    )
+    parser.add_argument(
+        "--transfer",
+        choices=list(TRANSFER_NAMES),
+        default=None,
+        help=(
+            "shuffle transfer strategy: 'inline' (same-address-space zero copy), "
+            "'pickle' (by-value across processes) or 'shm' (columnar batches via "
+            "shared memory); default follows the backend, or --plan auto"
+        ),
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=_byte_size,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "shuffle memory budget (accepts k/m/g suffixes, e.g. 64m); partitions "
+            "beyond it spill to sorted on-disk runs and reducers stream the merge"
+        ),
     )
     parser.add_argument(
         "--max-task-attempts",

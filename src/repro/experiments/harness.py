@@ -163,6 +163,13 @@ class TKIJRunConfig:
     max_task_attempts: int = 4
     speculative_slowdown: float | None = None
     fault_plan: FaultPlan | None = None
+    transfer: str | None = None
+    """Shuffle transfer strategy (``inline``/``pickle``/``shm``).  ``None``
+    defers: the backend default under manual planning, the planner's pick under
+    ``plan="auto"``.  An explicit value always wins."""
+    memory_budget_bytes: int | None = None
+    """Shuffle memory budget; partitions exceeding it spill to sorted on-disk
+    runs and the reduce phase streams over their merge (DESIGN.md §10)."""
 
     def make_cluster(self) -> ClusterConfig:
         """The simulated-cluster description of this configuration."""
@@ -174,6 +181,8 @@ class TKIJRunConfig:
             max_task_attempts=self.max_task_attempts,
             speculative_slowdown=self.speculative_slowdown,
             fault_plan=self.fault_plan,
+            transfer=self.transfer,
+            memory_budget_bytes=self.memory_budget_bytes,
         )
 
     def make_context(self, backend: ExecutionBackend | None = None) -> ExecutionContext:
@@ -202,6 +211,10 @@ class TKIJRunConfig:
         if self.kernel is not None:
             # Forwarded as an explicit knob so it beats the auto planner's pick.
             knobs["kernel"] = self.kernel
+        if self.transfer is not None:
+            knobs["transfer"] = self.transfer
+        if self.memory_budget_bytes is not None:
+            knobs["memory_budget_bytes"] = self.memory_budget_bytes
         return knobs
 
     def make_runner(self, backend: ExecutionBackend | None = None) -> TKIJ:
@@ -289,6 +302,8 @@ def run_single_query(
     max_task_attempts: int = 4,
     speculative_slowdown: float | None = None,
     fault_plan: FaultPlan | None = None,
+    transfer: str | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> ResultTable:
     """Generic driver: one Table-1 query, one registered algorithm, one report.
 
@@ -315,6 +330,8 @@ def run_single_query(
         max_task_attempts=max_task_attempts,
         speculative_slowdown=speculative_slowdown,
         fault_plan=fault_plan,
+        transfer=transfer,
+        memory_budget_bytes=memory_budget_bytes,
     )
     with config.make_context() as context:
         plan = algo.plan(query, context, **algo.plan_knobs(options or {}))

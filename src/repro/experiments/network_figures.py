@@ -91,6 +91,8 @@ def figure13_network_scalability(
     max_workers: int | None = None,
     plan: str = "manual",
     kernel: str | None = None,
+    transfer: str | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> ResultTable:
     """Running time while the sampled fraction of the trace grows (Figure 13)."""
     base = generate_network_collection(config, seed=seed)
@@ -98,7 +100,12 @@ def figure13_network_scalability(
         title=f"Figure 13 — network scalability ({params_name}, g={num_granules}, k={k})",
         columns=["query", "fraction", "size", "total_seconds", "topbuckets_seconds", "nonempty_buckets"],
     )
-    run_config = TKIJRunConfig(backend=backend, max_workers=max_workers)
+    run_config = TKIJRunConfig(
+        backend=backend,
+        max_workers=max_workers,
+        transfer=transfer,
+        memory_budget_bytes=memory_budget_bytes,
+    )
     with run_config.make_context() as context:
         for fraction in fractions:
             sampled = sample_collection(base, fraction, seed=seed)
@@ -137,6 +144,8 @@ def figure14_network_effect_k(
     max_workers: int | None = None,
     plan: str = "manual",
     kernel: str | None = None,
+    transfer: str | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> ResultTable:
     """Running time as k grows on the network trace (Figure 14)."""
     collections = network_collections(config, seed=seed)
@@ -144,7 +153,12 @@ def figure14_network_effect_k(
         title=f"Figure 14 — network data, effect of k ({params_name}, g={num_granules})",
         columns=["query", "k", "total_seconds", "selected_combinations"],
     )
-    run_config = TKIJRunConfig(backend=backend, max_workers=max_workers)
+    run_config = TKIJRunConfig(
+        backend=backend,
+        max_workers=max_workers,
+        transfer=transfer,
+        memory_budget_bytes=memory_budget_bytes,
+    )
     with run_config.make_context() as context:
         for query_name in queries:
             for k in ks:

@@ -38,13 +38,21 @@ def figure11_scalability(
     max_workers: int | None = None,
     plan: str = "manual",
     kernel: str | None = None,
+    transfer: str | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> ResultTable:
     """TKIJ (scored P1 and Boolean PB) against All-Matrix / RCCIS while |Ci| grows."""
     table = ResultTable(
         title=f"Figure 11 — scalability (g={num_granules}, k={k})",
         columns=["query", "size", "system", "total_seconds", "shuffle_records", "results"],
     )
-    base = TKIJRunConfig(num_reducers=num_reducers, backend=backend, max_workers=max_workers)
+    base = TKIJRunConfig(
+        num_reducers=num_reducers,
+        backend=backend,
+        max_workers=max_workers,
+        transfer=transfer,
+        memory_budget_bytes=memory_budget_bytes,
+    )
     with base.make_context() as context:
         for query_name in queries:
             baseline_name = _BASELINE_FOR_QUERY.get(query_name, "rccis")
@@ -61,6 +69,8 @@ def figure11_scalability(
                         num_reducers=num_reducers,
                         plan=plan,
                         kernel=kernel,
+                        transfer=transfer,
+                        memory_budget_bytes=memory_budget_bytes,
                     )
                     result = run_tkij(query, config, context=context)
                     table.add_row(
@@ -92,13 +102,21 @@ def statistics_collection_times(
     seed: int = 7,
     backend: str = "serial",
     max_workers: int | None = None,
+    transfer: str | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> ResultTable:
     """Statistics-collection time versus collection size (Section 4, "Statistics collection")."""
     table = ResultTable(
         title=f"Statistics collection (g={num_granules}, {num_collections} collections)",
         columns=["size", "seconds", "shuffle_records", "nonempty_buckets"],
     )
-    with MapReduceEngine(ClusterConfig(backend=backend, max_workers=max_workers)) as engine:
+    cluster = ClusterConfig(
+        backend=backend,
+        max_workers=max_workers,
+        transfer=transfer,
+        memory_budget_bytes=memory_budget_bytes,
+    )
+    with MapReduceEngine(cluster) as engine:
         for size in sizes:
             collections = generate_collections(
                 num_collections, SyntheticConfig(size=size), seed=seed

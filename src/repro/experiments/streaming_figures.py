@@ -38,6 +38,8 @@ def figure_streaming(
     max_workers: int | None = None,
     plan: str = "manual",
     kernel: str | None = None,
+    transfer: str | None = None,
+    memory_budget_bytes: int | None = None,
     compare_full: bool = True,
     seed: int = 7,
     max_task_attempts: int = 4,
@@ -69,6 +71,8 @@ def figure_streaming(
         max_task_attempts=max_task_attempts,
         speculative_slowdown=speculative_slowdown,
         fault_plan=fault_plan,
+        transfer=transfer,
+        memory_budget_bytes=memory_budget_bytes,
     )
     streaming_algorithm = get_algorithm("tkij-streaming")
     static_algorithm = get_algorithm("tkij")

@@ -78,6 +78,8 @@ def figure8_workload_distribution(
     seed: int = 7,
     backend: str = "serial",
     max_workers: int | None = None,
+    transfer: str | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> ResultTable:
     """LPT vs DTB: join time (8a), max reducer time (8b), min k-th score (8c).
 
@@ -96,7 +98,13 @@ def figure8_workload_distribution(
             "shuffle_records",
         ],
     )
-    base = TKIJRunConfig(num_reducers=num_reducers, backend=backend, max_workers=max_workers)
+    base = TKIJRunConfig(
+        num_reducers=num_reducers,
+        backend=backend,
+        max_workers=max_workers,
+        transfer=transfer,
+        memory_budget_bytes=memory_budget_bytes,
+    )
     with base.make_context() as context:
         for size in sizes:
             collections = _collections(3, size, seed=seed)
@@ -133,6 +141,8 @@ def figure9_topbuckets_strategies(
     seed: int = 7,
     backend: str = "serial",
     max_workers: int | None = None,
+    transfer: str | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> ResultTable:
     """Detailed stage times of the three TopBuckets strategies on Qb*, Qo*, Qm*.
 
@@ -153,7 +163,12 @@ def figure9_topbuckets_strategies(
             "selected_combinations",
         ],
     )
-    base = TKIJRunConfig(backend=backend, max_workers=max_workers)
+    base = TKIJRunConfig(
+        backend=backend,
+        max_workers=max_workers,
+        transfer=transfer,
+        memory_budget_bytes=memory_budget_bytes,
+    )
     with base.make_context() as context:
         for family in families:
             for n in num_vertices:
@@ -187,6 +202,8 @@ def figure10_granules(
     seed: int = 7,
     backend: str = "serial",
     max_workers: int | None = None,
+    transfer: str | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> ResultTable:
     """Effect of the number of granules: total time (10a), imbalance (10b), detail (10c).
 
@@ -206,7 +223,12 @@ def figure10_granules(
             "selected_combinations",
         ],
     )
-    base = TKIJRunConfig(backend=backend, max_workers=max_workers)
+    base = TKIJRunConfig(
+        backend=backend,
+        max_workers=max_workers,
+        transfer=transfer,
+        memory_budget_bytes=memory_budget_bytes,
+    )
     with base.make_context() as context:
         for query_name in queries:
             collections = _collections(3, size, seed=seed)
@@ -238,13 +260,20 @@ def effect_of_k_synthetic(
     max_workers: int | None = None,
     plan: str = "manual",
     kernel: str | None = None,
+    transfer: str | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> ResultTable:
     """Section 4.2.6: running time as k varies (expected to stay nearly flat)."""
     table = ResultTable(
         title=f"Effect of k (synthetic, |Ci|={size}, g={num_granules})",
         columns=["query", "k", "total_seconds", "selected_combinations"],
     )
-    base = TKIJRunConfig(backend=backend, max_workers=max_workers)
+    base = TKIJRunConfig(
+        backend=backend,
+        max_workers=max_workers,
+        transfer=transfer,
+        memory_budget_bytes=memory_budget_bytes,
+    )
     with base.make_context() as context:
         for query_name in queries:
             collections = _collections(3, size, seed=seed)

@@ -37,6 +37,8 @@ __all__ = [
     "ExecutionBackend",
     "execute_task",
     "partition_sort_key",
+    "iter_partition",
+    "partition_input_records",
 ]
 
 
@@ -118,19 +120,45 @@ class MapTask:
         return TaskResult(self.task_id, outputs, metrics, counters)
 
 
+def iter_partition(partition: Any):
+    """Stream one partition's ``(key, values)`` groups in canonical key order.
+
+    An in-memory partition (any mapping of key → value list) iterates its keys
+    sorted by :func:`partition_sort_key`.  A spilled partition (anything
+    exposing ``sorted_items``, see :class:`~repro.mapreduce.spill.SpilledPartition`)
+    streams a k-way merge of its on-disk runs and resident remainder — in the
+    *same* canonical order, which is what keeps budgeted runs byte-identical
+    to unbounded ones.
+    """
+    sorted_items = getattr(partition, "sorted_items", None)
+    if sorted_items is not None:
+        return sorted_items()
+    return ((key, partition[key]) for key in sorted(partition, key=partition_sort_key))
+
+
+def partition_input_records(partition: Any) -> int:
+    """Total shuffled values in one partition, without materialising runs."""
+    input_records = getattr(partition, "input_records", None)
+    if input_records is not None:
+        return int(input_records)
+    return sum(len(values) for values in partition.values())
+
+
 @dataclass(frozen=True)
 class ReduceTask:
     """One reduce task: a fresh reducer folded over one shuffle partition.
 
     Keys are reduced in a deterministic order independent of insertion order,
-    so that all backends emit identical output sequences.
+    so that all backends emit identical output sequences.  ``partition`` is
+    either an in-memory mapping or a spilled partition streaming its groups
+    from sorted on-disk runs; the reducer never sees the difference.
     """
 
     phase = "reduce"
 
     job: MapReduceJob
     task_id: int
-    partition: dict[Any, list[Any]]
+    partition: Any
 
     def __call__(self) -> TaskResult:
         reducer = self.job.reducer_factory()
@@ -138,12 +166,12 @@ class ReduceTask:
         reducer.setup(counters)
         metrics = TaskMetrics(
             task_id=self.task_id,
-            input_records=sum(len(values) for values in self.partition.values()),
+            input_records=partition_input_records(self.partition),
         )
         outputs: list[KeyValue] = []
         started = time.perf_counter()
-        for key in sorted(self.partition.keys(), key=partition_sort_key):
-            for pair in reducer.reduce(key, self.partition[key]):
+        for key, values in iter_partition(self.partition):
+            for pair in reducer.reduce(key, values):
                 outputs.append(pair)
         for pair in reducer.cleanup():
             outputs.append(pair)
@@ -216,10 +244,16 @@ class ExecutionBackend(ABC):
     pool start-up cost is amortised over many jobs.
 
     ``requires_pickling`` declares whether tasks cross a process boundary.
-    When it is ``False`` (serial/thread) the engine takes a zero-copy fast
-    path: map splits and shuffle partitions are handed to tasks as the very
-    containers the engine built, skipping the defensive ``tuple``/``dict``
-    copies that only exist to shrink pickles for the process backend.
+    It is the legacy form of the transfer contract: the engine now resolves a
+    full :class:`~repro.mapreduce.transfer.TransferStrategy` per job — from
+    ``ClusterConfig.transfer`` when set, else from the backend's ``transfer``
+    default, else ``"pickle"``/``"inline"`` according to this flag — so
+    backends written against the old boolean keep their exact behaviour:
+    ``False`` (serial/thread) yields the zero-copy ``inline`` strategy whose
+    tasks read the very containers the engine built, ``True`` (process) the
+    ``pickle`` strategy with its defensive ``tuple``/``dict`` freezes.
+    ``transfer`` lets a backend prefer a specific strategy by name instead
+    (e.g. ``"shm"`` to ship columnar batches through shared memory).
 
     ``speculative_slowdown`` opts a pool backend into speculative execution of
     straggler tasks: once a task has run longer than ``slowdown × median`` of
@@ -234,6 +268,8 @@ class ExecutionBackend(ABC):
 
     name: str = "abstract"
     requires_pickling: bool = False
+    transfer: str | None = None
+    """Preferred transfer-strategy name (``None``: derive from the flag above)."""
 
     def __init__(
         self,
@@ -252,6 +288,18 @@ class ExecutionBackend(ABC):
         self.speculative_min_seconds = speculative_min_seconds
         self.speculative_launches = 0
         self.speculative_wins = 0
+
+    @property
+    def parallelism(self) -> int:
+        """How many tasks this backend genuinely runs at once.
+
+        A dispatch hint, not a limit: under a shuffle memory budget the engine
+        sizes its map waves to this, so pipelining map results into the
+        shuffle never starves a pool of runnable tasks.  The base answer is
+        ``max_workers`` (or 1); pool backends override it with their actual
+        lazy default so an unconfigured pool still reports its real width.
+        """
+        return self.max_workers or 1
 
     @abstractmethod
     def run_tasks(self, tasks: Sequence[Task]) -> "list[TaskResult | TaskFailure]":

@@ -36,6 +36,10 @@ class ProcessPoolBackend(ExecutionBackend):
         super().__init__(max_workers, speculative_slowdown, speculative_min_seconds)
         self._executor: ProcessPoolExecutor | None = None
 
+    @property
+    def parallelism(self) -> int:
+        return self.max_workers or os.cpu_count() or 1
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             workers = self.max_workers or os.cpu_count() or 1

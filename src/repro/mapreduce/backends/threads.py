@@ -34,6 +34,10 @@ class ThreadPoolBackend(ExecutionBackend):
         super().__init__(max_workers, speculative_slowdown, speculative_min_seconds)
         self._executor: ThreadPoolExecutor | None = None
 
+    @property
+    def parallelism(self) -> int:
+        return self.max_workers or min(32, os.cpu_count() or 1)
+
     def _ensure_executor(self) -> ThreadPoolExecutor:
         if self._executor is None:
             workers = self.max_workers or min(32, os.cpu_count() or 1)

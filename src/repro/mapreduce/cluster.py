@@ -19,10 +19,13 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports (cycle-free)
     from .backends.base import TaskFailure
     from .faults import FaultPlan
 
-__all__ = ["BACKEND_NAMES", "ClusterConfig", "TaskMetrics", "JobMetrics"]
+__all__ = ["BACKEND_NAMES", "TRANSFER_NAMES", "ClusterConfig", "TaskMetrics", "JobMetrics"]
 
 BACKEND_NAMES = ("serial", "thread", "process")
 """Valid ``ClusterConfig.backend`` values (the execution-backend registry keys)."""
+
+TRANSFER_NAMES = ("inline", "pickle", "shm")
+"""Valid ``ClusterConfig.transfer`` values (the transfer-strategy registry keys)."""
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,15 @@ class ClusterConfig:
     max_task_attempts: int = 4
     speculative_slowdown: float | None = None
     fault_plan: "FaultPlan | None" = None
+    transfer: str | None = None
+    """Transfer strategy for task inputs (``inline``, ``pickle`` or ``shm``;
+    see :mod:`repro.mapreduce.transfer`).  ``None`` defers to the backend's
+    default: zero-copy ``inline`` in-process, ``pickle`` across processes."""
+    memory_budget_bytes: int | None = None
+    """Shuffle memory budget.  ``None`` keeps every partition resident (the
+    historical behaviour); a positive value makes the shuffle spill partitions
+    to sorted on-disk runs whenever the resident estimate crosses the budget,
+    and reduce tasks stream a k-way merge of the runs (DESIGN.md §10)."""
 
     def __post_init__(self) -> None:
         if self.num_reducers <= 0 or self.num_mappers <= 0:
@@ -69,6 +81,12 @@ class ClusterConfig:
             raise ValueError("speculative_slowdown must exceed 1.0")
         if self.fault_plan is not None and not hasattr(self.fault_plan, "rule_for"):
             raise ValueError("fault_plan must be a FaultPlan (or expose rule_for)")
+        if self.transfer is not None and self.transfer not in TRANSFER_NAMES:
+            raise ValueError(
+                f"unknown transfer {self.transfer!r}; expected one of {sorted(TRANSFER_NAMES)}"
+            )
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
 
 
 @dataclass
@@ -103,6 +121,13 @@ class JobMetrics:
     reduce_tasks: list[TaskMetrics] = field(default_factory=list)
     shuffle_records: int = 0
     shuffle_size: int = 0
+    shuffle_bytes: int = 0
+    """Estimated bytes shuffled (every strategy; see
+    :func:`repro.mapreduce.transfer.record_nbytes`) — ``shuffle_size`` keeps
+    the job-defined record-size units the paper's replication figures use."""
+    bytes_spilled: int = 0
+    spill_runs: int = 0
+    shm_segments: int = 0
     counters: Counters = field(default_factory=Counters)
     elapsed_seconds: float = 0.0
     failed_attempts: "list[TaskFailure]" = field(default_factory=list)
@@ -143,6 +168,10 @@ class JobMetrics:
             "elapsed_seconds": self.elapsed_seconds,
             "shuffle_records": float(self.shuffle_records),
             "shuffle_size": float(self.shuffle_size),
+            "shuffle_bytes": float(self.shuffle_bytes),
+            "bytes_spilled": float(self.bytes_spilled),
+            "spill_runs": float(self.spill_runs),
+            "shm_segments": float(self.shm_segments),
             "max_reduce_seconds": self.max_reduce_seconds,
             "avg_reduce_seconds": self.avg_reduce_seconds,
             "imbalance": self.imbalance,

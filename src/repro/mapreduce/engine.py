@@ -8,10 +8,23 @@ reproducing the dataflow of a real cluster:
    :class:`~repro.mapreduce.backends.MapTask` (fresh mapper instance, per-task
    timing and counters);
 2. intermediate pairs are shuffled to ``num_reducers`` partitions according to the
-   job's partitioner, counting shuffled records and their estimated size;
+   job's partitioner, counting shuffled records and their estimated size; under a
+   ``ClusterConfig.memory_budget_bytes`` the map tasks are dispatched in waves of
+   ``backend.parallelism`` with each wave's outputs routed into the shuffle before
+   the next wave launches, and the shuffle spills oversized partitions to sorted
+   on-disk runs (:mod:`repro.mapreduce.spill`) — the driver's resident footprint
+   stays bounded by the budget plus one wave, not the dataset;
 3. each partition becomes one :class:`~repro.mapreduce.backends.ReduceTask`
    grouping values by key (per-task timing recorded — the quantity behind the
-   paper's "max time reducer" and imbalance plots).
+   paper's "max time reducer" and imbalance plots); spilled partitions stream a
+   k-way merge of their runs instead of a materialised dict.
+
+How task inputs reach the backend is the job of a
+:class:`~repro.mapreduce.transfer.TransferStrategy` (``inline``, ``pickle`` or
+``shm``), resolved per engine from ``ClusterConfig.transfer`` or the backend's
+default — see DESIGN.md §10.  The ``shm`` strategy ships columnar batches
+through shared-memory segments; the engine releases them in a job-level
+``finally``, so failed and retried jobs never leak ``/dev/shm`` entries.
 
 Tasks execute on a pluggable :class:`~repro.mapreduce.backends.ExecutionBackend`
 selected through :class:`~repro.mapreduce.cluster.ClusterConfig`: serially (the
@@ -54,6 +67,8 @@ from .cluster import ClusterConfig, JobMetrics
 from .counters import Counters
 from .faults import FaultInjectingBackend
 from .job import KeyValue, MapReduceJob
+from .spill import SpilledPartition, SpillManager
+from .transfer import TransferStrategy, create_transfer, record_nbytes
 
 __all__ = ["JobResult", "MapReduceEngine", "create_cluster_backend"]
 
@@ -90,6 +105,74 @@ class JobResult:
         return self.metrics.counters
 
 
+class _ShuffleSink:
+    """Routes intermediate pairs into reduce partitions, spilling under a budget.
+
+    The sink is the streaming half of the shuffle: the map phase feeds it one
+    result's outputs at a time and each output list is consumed destructively
+    (slots nulled as they are routed) so that spilling actually frees driver
+    memory — otherwise the flat output lists would pin every value the
+    partitions reference.  ``finish`` returns one payload per reducer: a
+    ``defaultdict`` for fully-resident partitions, a
+    :class:`~repro.mapreduce.spill.SpilledPartition` once a partition has runs
+    on disk.  Freezing/sharing for the backend happens lazily per task in
+    ``MapReduceEngine._run_reduce_phase``.
+    """
+
+    def __init__(
+        self,
+        job: MapReduceJob,
+        cluster: ClusterConfig,
+        spill: SpillManager | None,
+        metrics: JobMetrics,
+    ) -> None:
+        self.job = job
+        self.metrics = metrics
+        self.budget = cluster.memory_budget_bytes
+        self.spill = spill
+        self.num_reducers = job.num_reducers or cluster.num_reducers
+        self.partitioner = job.make_partitioner()
+        self.partitions: list[dict[Any, list[Any]]] = [
+            defaultdict(list) for _ in range(self.num_reducers)
+        ]
+        self.runs: list[list[Any]] = [[] for _ in range(self.num_reducers)]
+        self.partition_bytes = [0] * self.num_reducers
+        self.resident_bytes = 0
+
+    def route(self, outputs: list[KeyValue]) -> None:
+        for index in range(len(outputs)):
+            key, value = outputs[index]
+            outputs[index] = None  # type: ignore[call-overload]
+            reducer_index = self.partitioner.partition(key, self.num_reducers)
+            self.partitions[reducer_index][key].append(value)
+            self.metrics.shuffle_records += 1
+            self.metrics.shuffle_size += self.job.record_size(key, value)
+            nbytes = record_nbytes(key, value)
+            self.metrics.shuffle_bytes += nbytes
+            if self.budget is None:
+                continue
+            self.partition_bytes[reducer_index] += nbytes
+            self.resident_bytes += nbytes
+            while self.resident_bytes > self.budget:
+                # Spill the largest resident partition; repeat until back under
+                # budget (one giant record can only leave its own partition).
+                victim = max(range(self.num_reducers), key=self.partition_bytes.__getitem__)
+                if self.partition_bytes[victim] <= 0:
+                    break
+                self.runs[victim].append(self.spill.spill(victim, self.partitions[victim]))
+                self.resident_bytes -= self.partition_bytes[victim]
+                self.partition_bytes[victim] = 0
+                self.partitions[victim] = defaultdict(list)
+
+    def finish(self) -> list[Any]:
+        return [
+            SpilledPartition(runs=tuple(partition_runs), resident=partition)
+            if partition_runs
+            else partition
+            for partition, partition_runs in zip(self.partitions, self.runs)
+        ]
+
+
 class MapReduceEngine:
     """Executes Map-Reduce jobs on the simulated cluster.
 
@@ -108,7 +191,24 @@ class MapReduceEngine:
         self.cluster = cluster or ClusterConfig()
         self._owns_backend = backend is None
         self.backend = backend or create_cluster_backend(self.cluster)
+        self.transfer = self._resolve_transfer()
+        self._spill: SpillManager | None = None
         self.history: list[JobMetrics] = []
+
+    def _resolve_transfer(self) -> TransferStrategy:
+        """The transfer strategy this engine moves task inputs with.
+
+        The cluster config wins when it names one; otherwise the backend's
+        declared default applies, falling back to the legacy
+        ``requires_pickling`` flag so pre-strategy backends keep their exact
+        behaviour (``pickle`` across processes, zero-copy ``inline`` at home).
+        """
+        name = self.cluster.transfer
+        if name is None:
+            name = getattr(self.backend, "transfer", None)
+        if name is None:
+            name = "pickle" if self.backend.requires_pickling else "inline"
+        return create_transfer(name)
 
     # ------------------------------------------------------------------ public
     def run(self, job: MapReduceJob, input_pairs: Iterable[KeyValue]) -> JobResult:
@@ -116,10 +216,24 @@ class MapReduceEngine:
         started = time.perf_counter()
         metrics = JobMetrics(job_name=job.name)
         records = list(input_pairs)
-
-        intermediate = self._run_map_phase(job, records, metrics)
-        partitions = self._shuffle(job, intermediate, metrics)
-        outputs, per_reducer = self._run_reduce_phase(job, partitions, metrics)
+        if self.cluster.memory_budget_bytes is not None:
+            self._spill = SpillManager(job.name)
+        segments_before = self.transfer.segments_created
+        try:
+            partitions = self._run_map_phase(job, records, metrics)
+            del records  # splits are dispatched; drop the driver's extra copy
+            outputs, per_reducer = self._run_reduce_phase(job, partitions, metrics)
+        finally:
+            # Job close: runs on success, on TaskFailedError after exhausted
+            # retries, and on any crash in between — spill files and shared
+            # segments never outlive the job.
+            metrics.shm_segments = self.transfer.segments_created - segments_before
+            self.transfer.release_job()
+            if self._spill is not None:
+                metrics.bytes_spilled = self._spill.bytes_spilled
+                metrics.spill_runs = self._spill.runs_written
+                self._spill.cleanup()
+                self._spill = None
 
         metrics.elapsed_seconds = time.perf_counter() - started
         self.history.append(metrics)
@@ -136,6 +250,7 @@ class MapReduceEngine:
         """
         if self._owns_backend:
             self.backend.close()
+        self.transfer.close()
 
     def __enter__(self) -> "MapReduceEngine":
         return self
@@ -195,49 +310,59 @@ class MapReduceEngine:
 
     def _run_map_phase(
         self, job: MapReduceJob, records: Sequence[KeyValue], metrics: JobMetrics
-    ) -> list[KeyValue]:
+    ) -> list[Any]:
+        """Run the map tasks and shuffle their outputs into reduce partitions.
+
+        Without a memory budget every task goes out in one wave and the sink
+        routes the collected outputs afterwards — the classic barrier.  Under a
+        ``ClusterConfig.memory_budget_bytes`` the tasks are dispatched in waves
+        of ``backend.parallelism`` and each wave's outputs are routed (and
+        possibly spilled) before the next wave launches, so the driver never
+        holds more than one wave of unrouted map outputs plus the budgeted
+        resident partitions.  Results are consumed in task order either way,
+        so outputs, counters and shuffle accounting stay byte-identical.
+        """
         splits = self._split(records, self.cluster.num_mappers)
-        # Zero-copy fast path: only a pickling backend needs the compact tuple
-        # copy of each split; serial/thread tasks iterate the engine's lists.
-        pickling = self.backend.requires_pickling
+        # The transfer strategy decides the split's form: inline hands tasks
+        # the engine's own lists, pickle freezes compact tuples, shm converts
+        # columnar values to shared-segment descriptors.
         tasks = [
-            MapTask(job=job, task_id=task_id, split=tuple(split) if pickling else split)
+            MapTask(job=job, task_id=task_id, split=self.transfer.prepare_split(split))
             for task_id, split in enumerate(splits)
         ]
-        intermediate: list[KeyValue] = []
-        for result in self._run_tasks_reliably(job, tasks, "map", metrics):
-            metrics.map_tasks.append(result.metrics)
-            metrics.counters.merge(result.counters)
-            intermediate.extend(result.outputs)
-        return intermediate
-
-    def _shuffle(
-        self, job: MapReduceJob, intermediate: Sequence[KeyValue], metrics: JobMetrics
-    ) -> list[dict[Any, list[Any]]]:
-        num_reducers = job.num_reducers or self.cluster.num_reducers
-        partitioner = job.make_partitioner()
-        partitions: list[dict[Any, list[Any]]] = [defaultdict(list) for _ in range(num_reducers)]
-        for key, value in intermediate:
-            reducer_index = partitioner.partition(key, num_reducers)
-            partitions[reducer_index][key].append(value)
-            metrics.shuffle_records += 1
-            metrics.shuffle_size += job.record_size(key, value)
-        if not self.backend.requires_pickling:
-            # Zero-copy fast path: reduce tasks read the partitions as built.
-            return partitions
-        # Freeze to plain dicts: smaller pickles for the process backend.
-        return [dict(partition) for partition in partitions]
+        sink = _ShuffleSink(job, self.cluster, self._spill, metrics)
+        if self.cluster.memory_budget_bytes is None:
+            wave = max(1, len(tasks))
+        else:
+            wave = max(1, self.backend.parallelism)
+        for start in range(0, len(tasks), wave):
+            for result in self._run_tasks_reliably(job, tasks[start : start + wave], "map", metrics):
+                metrics.map_tasks.append(result.metrics)
+                metrics.counters.merge(result.counters)
+                sink.route(result.outputs)
+                result.outputs = []  # routed; drop the task's reference
+        return sink.finish()
 
     def _run_reduce_phase(
         self,
         job: MapReduceJob,
-        partitions: Sequence[dict[Any, list[Any]]],
+        partitions: list[Any],
         metrics: JobMetrics,
     ) -> tuple[list[KeyValue], list[list[KeyValue]]]:
-        tasks = [
-            ReduceTask(job=job, task_id=task_id, partition=partition)
-            for task_id, partition in enumerate(partitions)
-        ]
+        tasks = []
+        for task_id in range(len(partitions)):
+            # Lazy per-task preparation: drop the engine's partition slot
+            # before freezing, so the driver never holds both the defaultdict
+            # and the frozen/shared copy of more than one partition at a time.
+            payload = partitions[task_id]
+            partitions[task_id] = None
+            tasks.append(
+                ReduceTask(
+                    job=job,
+                    task_id=task_id,
+                    partition=self.transfer.prepare_partition(payload),
+                )
+            )
         outputs: list[KeyValue] = []
         per_reducer: list[list[KeyValue]] = []
         for result in self._run_tasks_reliably(job, tasks, "reduce", metrics):

@@ -298,6 +298,14 @@ class FaultInjectingBackend(ExecutionBackend):
         return self.inner.requires_pickling
 
     @property
+    def transfer(self) -> str | None:  # type: ignore[override]
+        return self.inner.transfer
+
+    @property
+    def parallelism(self) -> int:
+        return self.inner.parallelism
+
+    @property
     def speculative_launches(self) -> int:  # type: ignore[override]
         return self.inner.speculative_launches
 

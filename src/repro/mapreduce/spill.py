@@ -1,0 +1,298 @@
+"""Out-of-core shuffle: sorted on-disk runs and spilled partitions.
+
+When ``ClusterConfig.memory_budget_bytes`` is set, the engine's shuffle keeps
+a running byte estimate of every partition and, whenever the resident total
+crosses the budget, freezes the largest partition into one *sorted run* on
+disk and clears it (DESIGN.md §10).  A partition may spill several times; the
+reduce phase then streams each reducer over a k-way merge of its runs plus the
+in-memory remainder, never materialising the full partition dict again.
+
+Two run formats, chosen per spill by inspecting the values:
+
+* a **columnar run** (every value is an
+  :class:`~repro.columnar.IntervalColumns`) writes the three dense columns of
+  every batch back to back with ``numpy.tofile`` — one flat file, three
+  sections, no pickling of array data — and reads them back as ``np.memmap``
+  slices, so replaying a run is zero-copy and page-cache friendly;
+* a **framed pickle run** (anything else, including mixed values) writes one
+  ``pickle.dump`` frame per key and streams them back one key at a time.
+
+Both formats store keys in the engine's canonical
+:func:`~repro.mapreduce.backends.partition_sort_key` order, which is what
+makes the merge in :meth:`SpilledPartition.sorted_items` line up with the
+in-memory reduce path: same key order, and within a key the values
+concatenate run-by-run in spill chronology with the resident remainder last —
+exactly the arrival order an unbounded shuffle would have produced.  That
+invariant is why a budgeted run is byte-identical to an in-memory one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from .backends.base import partition_sort_key
+
+__all__ = [
+    "ColumnarRun",
+    "PickleRun",
+    "SpilledPartition",
+    "SpillManager",
+    "SPILL_DIR_PREFIX",
+]
+
+SPILL_DIR_PREFIX = "tkij-spill-"
+"""Prefix of every per-job spill directory (created under the system tempdir).
+Leak tests glob for it, so keep it recognisable."""
+
+_UIDS_DTYPE = np.dtype(np.int64)
+_TIME_DTYPE = np.dtype(np.float64)
+
+KeyItems = Iterator[tuple[Any, list[Any]]]
+
+
+@dataclass(frozen=True)
+class ColumnarRun:
+    """One sorted run of columnar batches: a flat 3-section file plus its index.
+
+    The file holds all uids, then all starts, then all ends (8-byte elements,
+    so every section stays aligned); ``entries`` records, per key in sorted
+    order, the row length and payload tuple of each of its batches.  Payload
+    tuples are rare (hybrid queries only) and are arbitrary Python objects, so
+    they live in the index, not the flat file.
+    """
+
+    path: str
+    entries: tuple[tuple[Any, tuple[int, ...], tuple[tuple | None, ...]], ...]
+    total_rows: int
+
+    @property
+    def num_values(self) -> int:
+        return sum(len(lengths) for _, lengths, _ in self.entries)
+
+    def items(self) -> KeyItems:
+        """Stream ``(key, [batch, ...])`` in sorted key order, zero-copy.
+
+        Each batch's columns are ``memmap`` slices over the run file: nothing
+        is read until a kernel touches the rows, and nothing is ever copied
+        into driver memory wholesale.
+        """
+        from ..columnar.columns import IntervalColumns
+
+        uids = np.memmap(self.path, dtype=_UIDS_DTYPE, mode="r", shape=(self.total_rows,))
+        starts = np.memmap(
+            self.path,
+            dtype=_TIME_DTYPE,
+            mode="r",
+            offset=self.total_rows * _UIDS_DTYPE.itemsize,
+            shape=(self.total_rows,),
+        )
+        ends = np.memmap(
+            self.path,
+            dtype=_TIME_DTYPE,
+            mode="r",
+            offset=self.total_rows * (_UIDS_DTYPE.itemsize + _TIME_DTYPE.itemsize),
+            shape=(self.total_rows,),
+        )
+        row = 0
+        for key, lengths, payloads in self.entries:
+            batches = []
+            for length, payload in zip(lengths, payloads):
+                batches.append(
+                    IntervalColumns(
+                        uids[row : row + length],
+                        starts[row : row + length],
+                        ends[row : row + length],
+                        payload,
+                    )
+                )
+                row += length
+            yield key, batches
+
+
+@dataclass(frozen=True)
+class PickleRun:
+    """One sorted run of arbitrary records: one pickle frame per key."""
+
+    path: str
+    num_keys: int
+    num_values: int
+
+    def items(self) -> KeyItems:
+        """Stream ``(key, values)`` frames in the order they were written."""
+        with open(self.path, "rb") as handle:
+            for _ in range(self.num_keys):
+                yield pickle.load(handle)
+
+
+@dataclass(frozen=True)
+class SpilledPartition:
+    """One reduce partition that (partly) lives on disk.
+
+    ``runs`` are in spill order; ``resident`` is whatever accumulated after
+    the last spill.  The whole object is picklable — runs carry paths and
+    indexes, and the engine's transfer strategy prepares ``resident`` like any
+    in-memory partition — so spilled reduce tasks run on every backend.
+    """
+
+    runs: tuple[ColumnarRun | PickleRun, ...]
+    resident: Mapping[Any, list[Any]]
+
+    @property
+    def input_records(self) -> int:
+        """Total shuffled values, counted without materialising any run."""
+        return sum(run.num_values for run in self.runs) + sum(
+            len(values) for values in self.resident.values()
+        )
+
+    def with_resident(self, resident: Mapping[Any, list[Any]]) -> "SpilledPartition":
+        """The same runs over a re-prepared in-memory remainder."""
+        return replace(self, resident=resident)
+
+    def sorted_items(self) -> KeyItems:
+        """K-way merge of runs + resident in canonical key order.
+
+        Sources are merged on ``(partition_sort_key, source index)``, with the
+        resident remainder as the last source, so equal keys group adjacently
+        and their value lists concatenate in arrival order.  Grouping copies a
+        value list only when a second source actually contributes to the same
+        key — the common single-source key stays zero-copy.
+        """
+
+        def decorated(index: int, items: KeyItems):
+            for key, values in items:
+                yield (partition_sort_key(key), index), key, values
+
+        streams = [decorated(index, run.items()) for index, run in enumerate(self.runs)]
+        streams.append(
+            decorated(
+                len(self.runs),
+                (
+                    (key, self.resident[key])
+                    for key in sorted(self.resident, key=partition_sort_key)
+                ),
+            )
+        )
+        merged = heapq.merge(*streams, key=lambda item: item[0])
+        current_key: Any = _NO_KEY
+        current_values: list[Any] = []
+        owns_values = False
+        for _, key, values in merged:
+            if current_key is _NO_KEY:
+                current_key, current_values, owns_values = key, values, False
+            elif key == current_key:
+                if not owns_values:
+                    # Copy before extending: the incoming lists belong to the
+                    # runs/resident dict and must not be mutated.
+                    current_values = list(current_values)
+                    owns_values = True
+                current_values.extend(values)
+            else:
+                yield current_key, current_values
+                current_key, current_values, owns_values = key, values, False
+        if current_key is not _NO_KEY:
+            yield current_key, current_values
+
+
+_NO_KEY = object()
+
+
+class SpillManager:
+    """Owns one job's spill directory, run files and byte accounting.
+
+    The directory is created lazily on the first spill and removed — with
+    every run file in it — by :meth:`cleanup`, which the engine calls in the
+    job-level ``finally``: a job that fails or exhausts its retry budget
+    leaves no spill files behind.
+    """
+
+    def __init__(self, job_name: str) -> None:
+        self.job_name = job_name
+        self._directory: Path | None = None
+        self._run_ids = itertools.count()
+        self.runs_written = 0
+        self.bytes_spilled = 0
+
+    @property
+    def directory(self) -> Path:
+        if self._directory is None:
+            self._directory = Path(tempfile.mkdtemp(prefix=SPILL_DIR_PREFIX))
+        return self._directory
+
+    # ----------------------------------------------------------------- spills
+    def spill(
+        self, partition_index: int, partition: Mapping[Any, list[Any]]
+    ) -> ColumnarRun | PickleRun:
+        """Freeze one partition's current contents into a sorted run on disk."""
+        from ..columnar.columns import IntervalColumns
+
+        items = [
+            (key, partition[key])
+            for key in sorted(partition, key=partition_sort_key)
+        ]
+        columnar = bool(items) and all(
+            isinstance(value, IntervalColumns)
+            for _, values in items
+            for value in values
+        )
+        run_id = next(self._run_ids)
+        suffix = "cols" if columnar else "pkl"
+        path = self.directory / f"part{partition_index:04d}-run{run_id:04d}.{suffix}"
+        if columnar:
+            run = self._write_columnar(path, items)
+        else:
+            run = self._write_pickle(path, items)
+        self.runs_written += 1
+        self.bytes_spilled += os.path.getsize(path)
+        return run
+
+    @staticmethod
+    def _write_columnar(path: Path, items: list[tuple[Any, list[Any]]]) -> ColumnarRun:
+        total_rows = sum(len(batch) for _, batches in items for batch in batches)
+        with open(path, "wb") as handle:
+            # Three passes, one section per column: tofile streams each batch
+            # without ever concatenating the run in memory.
+            for column, dtype in (
+                ("uids", _UIDS_DTYPE),
+                ("starts", _TIME_DTYPE),
+                ("ends", _TIME_DTYPE),
+            ):
+                for _, batches in items:
+                    for batch in batches:
+                        np.ascontiguousarray(
+                            getattr(batch, column), dtype=dtype
+                        ).tofile(handle)
+        entries = tuple(
+            (
+                key,
+                tuple(len(batch) for batch in batches),
+                tuple(batch.payloads for batch in batches),
+            )
+            for key, batches in items
+        )
+        return ColumnarRun(path=str(path), entries=entries, total_rows=total_rows)
+
+    @staticmethod
+    def _write_pickle(path: Path, items: list[tuple[Any, list[Any]]]) -> PickleRun:
+        num_values = 0
+        with open(path, "wb") as handle:
+            for key, values in items:
+                pickle.dump((key, list(values)), handle, protocol=pickle.HIGHEST_PROTOCOL)
+                num_values += len(values)
+        return PickleRun(path=str(path), num_keys=len(items), num_values=num_values)
+
+    # ---------------------------------------------------------------- cleanup
+    def cleanup(self) -> None:
+        """Remove the spill directory and everything in it (idempotent)."""
+        if self._directory is not None:
+            shutil.rmtree(self._directory, ignore_errors=True)
+            self._directory = None

@@ -73,6 +73,26 @@ class RunReport:
         """Total records shuffled across all Map-Reduce phases."""
         return sum(metrics.shuffle_records for metrics in self.metrics)
 
+    @property
+    def shuffle_bytes(self) -> int:
+        """Total estimated shuffle bytes across all Map-Reduce phases."""
+        return sum(metrics.shuffle_bytes for metrics in self.metrics)
+
+    @property
+    def bytes_spilled(self) -> int:
+        """Total bytes written to on-disk spill runs across all phases."""
+        return sum(metrics.bytes_spilled for metrics in self.metrics)
+
+    @property
+    def spill_runs(self) -> int:
+        """Total sorted runs spilled to disk across all phases."""
+        return sum(metrics.spill_runs for metrics in self.metrics)
+
+    @property
+    def shm_segments(self) -> int:
+        """Total shared-memory segments created across all phases."""
+        return sum(metrics.shm_segments for metrics in self.metrics)
+
     def describe(self) -> dict[str, Any]:
         """Flat summary used by the experiment reports."""
         summary: dict[str, Any] = {
@@ -80,6 +100,10 @@ class RunReport:
             "results": float(len(self.results)),
             "total_seconds": self.total_seconds,
             "shuffle_records": float(self.shuffle_records),
+            "shuffle_bytes": float(self.shuffle_bytes),
+            "bytes_spilled": float(self.bytes_spilled),
+            "spill_runs": float(self.spill_runs),
+            "shm_segments": float(self.shm_segments),
         }
         summary.update(
             {f"seconds_{phase}": seconds for phase, seconds in self.phase_seconds.items()}

@@ -71,6 +71,8 @@ class TKIJAlgorithm(Algorithm):
         strategy: str = "loose",
         assigner: str = "dtb",
         kernel: str | None = None,
+        transfer: str | None = None,
+        memory_budget_bytes: int | None = None,
         join_config: LocalJoinConfig | None = None,
         solver: BranchAndBoundSolver | None = None,
         statistics_on_mapreduce: bool = False,
@@ -96,7 +98,31 @@ class TKIJAlgorithm(Algorithm):
             knobs["kernel"] = kernel
             if explanation is not None:
                 explanation.kernel = kernel
+        if transfer is not None:
+            # Same precedence for the shuffle transfer strategy.
+            knobs["transfer"] = transfer
+            if explanation is not None:
+                explanation.transfer = transfer
+        if memory_budget_bytes is not None:
+            knobs["memory_budget_bytes"] = memory_budget_bytes
         return ExecutionPlan(self.name, query, context, knobs, explanation)
+
+    @staticmethod
+    def _resolve_cluster(plan: ExecutionPlan):
+        """The context's cluster with the plan's transfer/budget knobs applied.
+
+        The context owns the cluster shape (reducers, mappers, backend); the
+        plan may override only how shuffled data moves and when it spills, so
+        several plans can share one context (and its worker pool) while
+        choosing different transfer strategies.
+        """
+        cluster = plan.context.cluster
+        overrides = {
+            knob: plan.knobs[knob]
+            for knob in ("transfer", "memory_budget_bytes")
+            if plan.knobs.get(knob) is not None
+        }
+        return replace(cluster, **overrides) if overrides else cluster
 
     def execute(self, plan: ExecutionPlan) -> RunReport:
         context, knobs = plan.context, plan.knobs
@@ -104,7 +130,7 @@ class TKIJAlgorithm(Algorithm):
             num_granules=knobs["num_granules"],
             strategy=knobs["strategy"],
             assigner=knobs["assigner"],
-            cluster=context.cluster,
+            cluster=self._resolve_cluster(plan),
             join_config=resolve_join_config(knobs),
             solver=knobs["solver"],
             statistics_on_mapreduce=knobs["statistics_on_mapreduce"],
@@ -144,7 +170,15 @@ class TKIJAlgorithm(Algorithm):
 
     def plan_knobs(self, options: Mapping[str, Any]) -> dict[str, Any]:
         picked = {}
-        for knob in ("mode", "num_granules", "strategy", "assigner", "kernel"):
+        for knob in (
+            "mode",
+            "num_granules",
+            "strategy",
+            "assigner",
+            "kernel",
+            "transfer",
+            "memory_budget_bytes",
+        ):
             if options.get(knob) is not None:
                 picked[knob] = options[knob]
         return picked

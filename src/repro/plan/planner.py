@@ -34,6 +34,9 @@ class PlanExplanation:
     strategy: str
     assigner: str
     kernel: str = "scalar"
+    transfer: str | None = None
+    """Chosen shuffle transfer strategy (``None`` leaves the engine's
+    backend-derived default in place)."""
     inputs: dict[str, float] = field(default_factory=dict)
     reasons: list[str] = field(default_factory=list)
 
@@ -45,6 +48,8 @@ class PlanExplanation:
             "assigner": self.assigner,
             "kernel": self.kernel,
         }
+        if self.transfer is not None:
+            summary["transfer"] = self.transfer
         summary.update(self.inputs)
         return summary
 
@@ -54,6 +59,8 @@ class PlanExplanation:
             f"g={self.num_granules} strategy={self.strategy} assigner={self.assigner} "
             f"kernel={self.kernel}"
         )
+        if self.transfer is not None:
+            choices += f" transfer={self.transfer}"
         if not self.reasons:
             return choices
         return f"{choices} ({'; '.join(self.reasons)})"
@@ -135,6 +142,7 @@ class AutoPlanner:
         kernel, est_candidates = self._choose_kernel(
             query, sizes, nonempty, num_granules, reasons
         )
+        transfer = self._choose_transfer(context, kernel, reasons)
 
         inputs = {
             "total_intervals": float(sum(sizes.values())),
@@ -156,12 +164,15 @@ class AutoPlanner:
             "assigner": assigner,
             "kernel": kernel,
         }
+        if transfer is not None:
+            knobs["transfer"] = transfer
         explanation = PlanExplanation(
             algorithm="tkij",
             num_granules=num_granules,
             strategy=strategy,
             assigner=assigner,
             kernel=kernel,
+            transfer=transfer,
             inputs=inputs,
             reasons=reasons,
         )
@@ -286,6 +297,32 @@ class AutoPlanner:
             f"amortise vectorization"
         )
         return "scalar", est_candidates
+
+    def _choose_transfer(
+        self, context: ExecutionContext, kernel: str, reasons: list[str]
+    ) -> str | None:
+        """Pick the shuffle transfer strategy, or defer to the engine's default.
+
+        Shared-memory transfer only pays on the process backend (elsewhere the
+        inline zero-copy path already wins) and only when the vector kernel
+        keeps records in columnar batches — scalar jobs shuffle individual
+        intervals, which ``shm`` would ship by value anyway while paying the
+        segment bookkeeping.  An explicit ``ClusterConfig.transfer`` is the
+        user's call and is never overridden.
+        """
+        cluster = context.cluster
+        if cluster.transfer is not None:
+            reasons.append(
+                f"transfer={cluster.transfer}: fixed by the cluster configuration"
+            )
+            return None
+        if cluster.backend == "process" and kernel == "vector":
+            reasons.append(
+                "transfer=shm: process backend with columnar batches, segment "
+                "descriptors replace per-record pickles across the boundary"
+            )
+            return "shm"
+        return None
 
     def _choose_granularity(
         self,

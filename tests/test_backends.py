@@ -224,3 +224,125 @@ class TestTKIJParity:
         ]
         query = build_query("Qo,o", collections, "P3", k=10)
         _assert_tkij_parity(query)
+
+
+class TestTransferParity:
+    """The transfer × backend × budget matrix (DESIGN.md §10).
+
+    Every combination of transfer strategy, execution backend and memory
+    budget must reproduce the plain serial in-memory run byte for byte —
+    outputs, counters and the shuffle-byte accounting alike.
+    """
+
+    TRANSFER_NAMES = ("inline", "pickle", "shm")
+
+    @staticmethod
+    def _run(backend_name, transfer=None, memory_budget_bytes=None):
+        cluster = ClusterConfig(
+            num_reducers=4,
+            num_mappers=3,
+            backend=backend_name,
+            max_workers=2,
+            transfer=transfer,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+        with MapReduceEngine(cluster) as engine:
+            return engine.run(wordcount_job(), wordcount_input())
+
+    def test_unknown_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(transfer="carrier-pigeon")
+        with pytest.raises(ValueError):
+            ClusterConfig(memory_budget_bytes=0)
+
+    def test_engine_resolves_backend_default(self):
+        for backend_name, expected in (
+            ("serial", "inline"),
+            ("thread", "inline"),
+            ("process", "pickle"),
+        ):
+            cluster = ClusterConfig(backend=backend_name, max_workers=2)
+            with MapReduceEngine(cluster) as engine:
+                assert engine.transfer.name == expected, backend_name
+
+    @pytest.mark.parametrize("budget", (None, 1))
+    @pytest.mark.parametrize("transfer", TRANSFER_NAMES)
+    @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+    def test_wordcount_matrix(self, backend_name, transfer, budget):
+        reference = self._run("serial")
+        candidate = self._run(backend_name, transfer, budget)
+        label = f"{backend_name}/{transfer}/budget={budget}"
+        assert candidate.outputs == reference.outputs, label
+        assert candidate.counters.as_dict() == reference.counters.as_dict(), label
+        assert candidate.metrics.shuffle_records == reference.metrics.shuffle_records
+        assert candidate.metrics.shuffle_bytes == reference.metrics.shuffle_bytes
+        if budget is None:
+            assert candidate.metrics.spill_runs == 0
+            assert candidate.metrics.bytes_spilled == 0
+        else:
+            assert candidate.metrics.spill_runs > 0, label
+            assert candidate.metrics.bytes_spilled > 0, label
+        # Wordcount shuffles plain ints: shm has nothing columnar to share.
+        assert candidate.metrics.shm_segments == 0
+
+    def test_unbounded_runs_report_no_shuffle_regression(self):
+        result = self._run("serial")
+        assert result.metrics.shuffle_bytes > 0
+
+
+def _tkij_transfer_report(query, backend_name, transfer=None, memory_budget_bytes=None):
+    from repro.core import LocalJoinConfig
+
+    cluster = ClusterConfig(
+        num_reducers=4,
+        num_mappers=3,
+        backend=backend_name,
+        max_workers=2,
+        transfer=transfer,
+        memory_budget_bytes=memory_budget_bytes,
+    )
+    with TKIJ(
+        num_granules=6,
+        cluster=cluster,
+        join_config=LocalJoinConfig(kernel="vector"),
+    ) as tkij:
+        return tkij.execute(query)
+
+
+class TestTKIJTransferParity:
+    """End-to-end TKIJ with the vector kernel across shm/spill arms."""
+
+    ARMS = (
+        ("serial", "shm", None),
+        ("process", "shm", None),
+        ("serial", None, 2048),
+        ("process", "pickle", 2048),
+        ("process", "shm", 2048),
+    )
+
+    def test_all_arms_match_the_inline_reference(self, tiny_collections):
+        import glob
+
+        query = build_query("Qs,m", tiny_collections, "P1", k=10)
+        reference = _tkij_transfer_report(query, "serial")
+        for backend_name, transfer, budget in self.ARMS:
+            report = _tkij_transfer_report(query, backend_name, transfer, budget)
+            label = f"{backend_name}/{transfer}/budget={budget}"
+            assert [(r.uids, r.score) for r in report.results] == [
+                (r.uids, r.score) for r in reference.results
+            ], label
+            assert (
+                report.join_metrics.shuffle_bytes
+                == reference.join_metrics.shuffle_bytes
+            ), label
+            assert (
+                report.join_metrics.counters.as_dict()
+                == reference.join_metrics.counters.as_dict()
+            ), label
+            if transfer == "shm":
+                assert report.join_metrics.shm_segments > 0, label
+            if budget is not None:
+                assert report.join_metrics.spill_runs > 0, label
+                assert report.join_metrics.bytes_spilled > 0, label
+        assert glob.glob("/dev/shm/tkij-shm-*") == []
+        assert glob.glob("/tmp/tkij-spill-*") == []

@@ -113,3 +113,77 @@ class TestChaosParityMatrix:
         # The in-process oracle never runs the engine; the fault plan must be
         # a no-op rather than an error.
         assert_chaos_parity("naive", chaos_collections, "serial") == 0
+
+
+class TestChaosShuffleHygiene:
+    """Chaos through the out-of-core shuffle (DESIGN.md §10).
+
+    Retried tasks must keep byte-identical results under shared-memory
+    transfer and disk spill, and both the retry and the job-abort paths must
+    leave ``/dev/shm`` and the spill tempdir clean.
+    """
+
+    @staticmethod
+    def _run_tkij(collections, backend, transfer=None, budget=None, fault_plan=None,
+                  attempts=ATTEMPT_BUDGET):
+        algorithm = get_algorithm("tkij")
+        query = build_query("Qs,m", collections, "P1", k=8)
+        cluster = ClusterConfig(
+            num_reducers=4,
+            num_mappers=3,
+            backend=backend,
+            max_workers=2,
+            max_task_attempts=attempts,
+            fault_plan=fault_plan,
+            transfer=transfer,
+            memory_budget_bytes=budget,
+        )
+        with ExecutionContext(cluster=cluster) as context:
+            return algorithm.run(
+                query, context, **algorithm.plan_knobs({"kernel": "vector"})
+            )
+
+    @staticmethod
+    def _assert_no_shuffle_litter():
+        import glob
+        import tempfile
+
+        assert glob.glob("/dev/shm/tkij-shm-*") == []
+        assert glob.glob(f"{tempfile.gettempdir()}/tkij-spill-*") == []
+
+    @pytest.mark.parametrize("backend", ("serial", "process"))
+    def test_chaos_parity_with_shm_and_spill(self, chaos_collections, backend):
+        reference = self._run_tkij(chaos_collections, "serial")
+        chaotic = self._run_tkij(
+            chaos_collections, backend, transfer="shm", budget=2048,
+            fault_plan=CHAOS_PLAN,
+        )
+        label = f"shm+spill/{backend}"
+        assert [(r.uids, r.score) for r in chaotic.results] == [
+            (r.uids, r.score) for r in reference.results
+        ], label
+        assert metric_fingerprint(chaotic) == metric_fingerprint(reference), label
+        assert chaotic.shuffle_bytes == reference.shuffle_bytes, label
+        assert chaotic.shm_segments > 0, label
+        assert chaotic.spill_runs > 0, label
+        assert sum(len(m.failed_attempts) for m in chaotic.metrics) > 0, label
+        self._assert_no_shuffle_litter()
+
+    @pytest.mark.parametrize("backend", ("serial", "process"))
+    def test_aborted_job_leaks_nothing(self, chaos_collections, backend):
+        from repro.mapreduce import FaultRule, TaskFailedError
+
+        # Reduce task 0 fails every attempt: the join job aborts after the
+        # budget is spent, and the engine's finally must still unlink every
+        # shared segment and remove the spill directory.
+        abort_plan = FaultPlan(
+            rules=(
+                FaultRule(action="fail", phase="reduce", task=0, attempts=(0, 1)),
+            )
+        )
+        with pytest.raises(TaskFailedError):
+            self._run_tkij(
+                chaos_collections, backend, transfer="shm", budget=2048,
+                fault_plan=abort_plan, attempts=2,
+            )
+        self._assert_no_shuffle_litter()

@@ -1,0 +1,297 @@
+"""Unit tests for the out-of-core shuffle: spill runs, transfer strategies and
+shared-memory batches (DESIGN.md §10).
+
+The load-bearing invariant throughout: a budgeted (spilling) run and a
+shared-memory run must be *byte-identical* to the plain in-memory run — same
+outputs, same counters, same shuffle-byte accounting.  The hypothesis property
+at the bottom drives that across arbitrary budgets.
+"""
+
+from __future__ import annotations
+
+import glob
+import pickle
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.columnar import IntervalColumns, SharedIntervalColumns, SharedMemoryPool
+from repro.columnar.shm import SEGMENT_PREFIX
+from repro.mapreduce import (
+    ClusterConfig,
+    MapReduceEngine,
+    SpilledPartition,
+    SpillManager,
+    create_transfer,
+    estimate_nbytes,
+    record_nbytes,
+)
+from repro.temporal import Interval
+
+from test_backends import run_wordcount, wordcount_input, wordcount_job
+
+
+def make_columns(uids, payloads=None):
+    uids = list(uids)
+    return IntervalColumns(
+        np.asarray(uids, dtype=np.int64),
+        np.asarray([10.0 * u for u in uids], dtype=float),
+        np.asarray([10.0 * u + 5.0 for u in uids], dtype=float),
+        payloads,
+    )
+
+
+def assert_columns_equal(actual, expected):
+    assert np.array_equal(actual.uids, expected.uids)
+    assert np.array_equal(actual.starts, expected.starts)
+    assert np.array_equal(actual.ends, expected.ends)
+    assert actual.payloads == expected.payloads
+
+
+class TestEstimateNbytes:
+    def test_deterministic_and_positive(self):
+        values = [None, True, 7, 3.5, "abc", b"xyz", (1, 2), [1.5], {"a": 1}]
+        for value in values:
+            assert estimate_nbytes(value) > 0
+            assert estimate_nbytes(value) == estimate_nbytes(value)
+
+    def test_interval_duck_type(self):
+        assert estimate_nbytes(Interval(1, 0.0, 1.0)) == 32
+        payload = Interval(1, 0.0, 1.0, payload="pp")
+        assert estimate_nbytes(payload) == 32 + estimate_nbytes("pp")
+
+    def test_columns_use_transfer_nbytes(self):
+        columns = make_columns([1, 2, 3])
+        assert estimate_nbytes(columns) == columns.transfer_nbytes() == 3 * 24
+        with_payloads = make_columns([1, 2], payloads=("a", "b"))
+        assert estimate_nbytes(with_payloads) == 2 * 24 + 2 * 16
+
+    def test_record_nbytes_sums_key_and_value(self):
+        assert record_nbytes(1, "ab") == 8 + (49 + 2)
+
+    def test_identical_for_shared_batches(self):
+        columns = make_columns([4, 5, 6])
+        shared = SharedIntervalColumns.create(columns)
+        try:
+            assert estimate_nbytes(shared) == estimate_nbytes(columns)
+        finally:
+            shared.release(unlink=True)
+
+
+class TestSpillRuns:
+    def test_pickle_run_round_trip(self, tmp_path):
+        manager = SpillManager("job")
+        partition = {"b": [1, 2], "a": ["x"], 3: [None]}
+        run = manager.spill(0, partition)
+        # Keys stream back in canonical heterogeneous order: ints before strs
+        # (partition_sort_key orders by type name first).
+        items = list(run.items())
+        assert [key for key, _ in items] == [3, "a", "b"]
+        assert dict(items) == partition
+        assert manager.runs_written == 1
+        assert manager.bytes_spilled > 0
+        manager.cleanup()
+        assert glob.glob(str(tmp_path / "tkij-spill-*")) == []
+
+    def test_columnar_run_round_trip(self):
+        manager = SpillManager("job")
+        partition = {
+            (1, 0): [make_columns([1, 2]), make_columns([3])],
+            (0, 2): [make_columns([7, 8], payloads=("p", None))],
+        }
+        run = manager.spill(0, partition)
+        assert run.path.endswith(".cols")
+        items = list(run.items())
+        assert [key for key, _ in items] == [(0, 2), (1, 0)]
+        by_key = dict(items)
+        for key, batches in partition.items():
+            assert len(by_key[key]) == len(batches)
+            for actual, expected in zip(by_key[key], batches):
+                assert_columns_equal(actual, expected)
+        manager.cleanup()
+
+    def test_mixed_values_fall_back_to_pickle(self):
+        manager = SpillManager("job")
+        run = manager.spill(0, {"k": [make_columns([1]), "not-columnar"]})
+        assert run.path.endswith(".pkl")
+        manager.cleanup()
+
+    def test_cleanup_removes_run_files(self):
+        manager = SpillManager("job")
+        run = manager.spill(0, {"a": [1]})
+        directory = manager.directory
+        assert directory.exists()
+        manager.cleanup()
+        assert not directory.exists()
+        assert glob.glob(run.path) == []
+
+
+class TestSpilledPartitionMerge:
+    def test_values_concatenate_in_spill_chronology(self):
+        manager = SpillManager("job")
+        run0 = manager.spill(0, {"a": [1, 2], "b": [3]})
+        run1 = manager.spill(0, {"a": [4], "c": [5]})
+        spilled = SpilledPartition(runs=(run0, run1), resident={"a": [6], "d": [7]})
+        assert list(spilled.sorted_items()) == [
+            ("a", [1, 2, 4, 6]),
+            ("b", [3]),
+            ("c", [5]),
+            ("d", [7]),
+        ]
+        assert spilled.input_records == 7
+        manager.cleanup()
+
+    def test_single_source_values_stay_zero_copy(self):
+        resident = {"only": [1, 2, 3]}
+        spilled = SpilledPartition(runs=(), resident=resident)
+        ((_, values),) = spilled.sorted_items()
+        assert values is resident["only"]
+
+    def test_merge_never_mutates_source_lists(self):
+        manager = SpillManager("job")
+        run = manager.spill(0, {"k": [1]})
+        resident = {"k": [2]}
+        spilled = SpilledPartition(runs=(run,), resident=resident)
+        assert list(spilled.sorted_items()) == [("k", [1, 2])]
+        assert resident["k"] == [2]
+        manager.cleanup()
+
+    def test_heterogeneous_keys_merge_in_canonical_order(self):
+        manager = SpillManager("job")
+        run = manager.spill(0, {"s": [1], 2: [2]})
+        spilled = SpilledPartition(runs=(run,), resident={1: [3], "t": [4]})
+        assert [key for key, _ in spilled.sorted_items()] == [1, 2, "s", "t"]
+        manager.cleanup()
+
+    def test_spilled_partition_survives_pickling(self):
+        manager = SpillManager("job")
+        run = manager.spill(0, {"k": [make_columns([1, 2])]})
+        spilled = SpilledPartition(runs=(run,), resident={"k": [make_columns([3])]})
+        restored = pickle.loads(pickle.dumps(spilled))
+        (key, batches), = restored.sorted_items()
+        assert key == "k"
+        assert [list(batch.uids) for batch in batches] == [[1, 2], [3]]
+        manager.cleanup()
+
+
+class TestSharedIntervalColumns:
+    def test_create_copies_and_descriptor_pickles(self):
+        columns = make_columns([1, 2, 3], payloads=("a", None, "c"))
+        shared = SharedIntervalColumns.create(columns)
+        try:
+            assert_columns_equal(shared, columns)
+            payload = pickle.dumps(shared)
+            # The pickle is a descriptor, not the data: far smaller than the
+            # columns themselves for any non-trivial batch.
+            assert shared.segment_name.encode() in payload
+            attached = pickle.loads(payload)
+            try:
+                assert_columns_equal(attached, columns)
+                assert not attached.uids.flags.writeable
+            finally:
+                attached.release()
+        finally:
+            shared.release(unlink=True)
+        assert glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*") == []
+
+    def test_released_batch_refuses_to_pickle(self):
+        shared = SharedIntervalColumns.create(make_columns([1]))
+        shared.release(unlink=True)
+        with pytest.raises(ValueError):
+            pickle.dumps(shared)
+
+    def test_pool_deduplicates_per_source_batch(self):
+        pool = SharedMemoryPool()
+        columns = make_columns([1, 2])
+        other = make_columns([3])
+        try:
+            first = pool.share(columns)
+            again = pool.share(columns)
+            assert first is again
+            assert pool.share(first) is first
+            pool.share(other)
+            assert pool.segments_created == 2
+        finally:
+            pool.close()
+        assert glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*") == []
+
+    def test_release_job_unlinks_segments(self):
+        pool = SharedMemoryPool()
+        shared = pool.share(make_columns([1, 2]))
+        name = shared.segment_name
+        assert glob.glob(f"/dev/shm/{name}")
+        pool.release_job()
+        assert glob.glob(f"/dev/shm/{name}") == []
+
+
+class TestTransferStrategies:
+    def test_registry_round_trip(self):
+        for name in ("inline", "pickle", "shm"):
+            transfer = create_transfer(name)
+            assert transfer.name == name
+            transfer.close()
+        with pytest.raises(ValueError):
+            create_transfer("carrier-pigeon")
+
+    def test_inline_is_pass_through(self):
+        transfer = create_transfer("inline")
+        split = [("k", 1)]
+        partition = {"k": [1]}
+        assert transfer.prepare_split(split) is split
+        assert transfer.prepare_partition(partition) is partition
+
+    def test_pickle_freezes_containers(self):
+        transfer = create_transfer("pickle")
+        assert transfer.prepare_split([("k", 1)]) == (("k", 1),)
+        prepared = transfer.prepare_partition({"k": [1]})
+        assert type(prepared) is dict and prepared == {"k": [1]}
+
+    def test_shm_converts_only_columnar_values(self):
+        transfer = create_transfer("shm")
+        try:
+            columns = make_columns([1, 2])
+            prepared = transfer.prepare_partition({"k": [columns, "scalar"]})
+            assert isinstance(prepared["k"][0], SharedIntervalColumns)
+            assert prepared["k"][1] == "scalar"
+            assert transfer.segments_created == 1
+        finally:
+            transfer.close()
+        assert glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*") == []
+
+    def test_shm_prepares_spilled_resident_only(self):
+        manager = SpillManager("job")
+        run = manager.spill(0, {"k": [make_columns([1])]})
+        spilled = SpilledPartition(runs=(run,), resident={"k": [make_columns([2])]})
+        transfer = create_transfer("shm")
+        try:
+            prepared = transfer.prepare_partition(spilled)
+            assert prepared.runs == (run,)
+            assert isinstance(prepared.resident["k"][0], SharedIntervalColumns)
+        finally:
+            transfer.close()
+            manager.cleanup()
+
+
+class TestBudgetProperty:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(budget=st.integers(min_value=1, max_value=4096))
+    def test_any_budget_matches_unbounded(self, budget):
+        """The paper-level invariant: spilling must never change an answer."""
+        unbounded = run_wordcount("serial")
+        cluster = ClusterConfig(
+            num_reducers=4, num_mappers=3, backend="serial", memory_budget_bytes=budget
+        )
+        with MapReduceEngine(cluster) as engine:
+            budgeted = engine.run(wordcount_job(), wordcount_input())
+        assert budgeted.outputs == unbounded.outputs
+        assert budgeted.counters.as_dict() == unbounded.counters.as_dict()
+        assert budgeted.metrics.shuffle_bytes == unbounded.metrics.shuffle_bytes
+        assert budgeted.metrics.bytes_spilled > 0
+        assert budgeted.metrics.spill_runs > 0
+        assert glob.glob("/tmp/tkij-spill-*") == []
