@@ -1,19 +1,29 @@
-"""Scalar vs vector join kernel — Figure 7 and streaming workloads.
+"""Scalar vs vector vs sweep join kernels — Figure 7, sweep and streaming workloads.
 
-Two workloads exercise the columnar kernel where it matters:
+Three workloads exercise the columnar kernels where they matter:
 
 * the **Figure 7 workload** (one scored Allen predicate over two collections,
   the paper's score-distribution setting) is the large-bucket regime the
   vector kernel was built for: the local join binds the second vertex by
   scoring whole candidate batches, so the interpreted per-tuple loop is
   replaced by a handful of numpy kernels per bucket combination.  The
-  benchmark asserts the kernel-level speedup (>= 3x single-core) together
+  benchmark asserts the kernel-level speedup (>= 2.5x single-core) together
   with the parity contract: tie-aware-identical top-k and exactly matching
   work counters across kernels and backends;
+* the **sweep workload** (one equality-shaped Allen predicate over two large
+  coarsely-bucketed collections, small k) is the large-bucket selective-
+  threshold regime the sweep kernel was built for: threshold boxes pin an
+  endpoint into a narrow range of a huge bucket, so resolving candidates via
+  ``searchsorted`` windows on endpoint-sorted views beats the vector kernel's
+  full-bucket ``box_mask`` scans.  The deterministic parity/planner arm
+  (``sweep_parity``, a blocking CI gate) asserts the three-kernel parity
+  matrix plus the AutoPlanner contract (sweep chosen with a recorded reason,
+  explicit kernel always winning); the wall-clock arm asserts the >= 1.5x
+  single-core speedup over vector (advisory in CI, like every ratio gate);
 * the **streaming workload** (the bench_streaming batch series) replays the
-  same append-only stream under both kernels and asserts per-batch parity —
-  the vector kernel must prune and score exactly like the scalar one when
-  seeded with the persistent k-th score.
+  same append-only stream under both columnar kernels and asserts per-batch
+  parity — each must prune and score exactly like the scalar one when seeded
+  with the persistent k-th score.
 
 Results land in the recorded tables; the pytest-benchmark JSON additionally
 carries ``extra_info`` metadata (workload/kernel/backend) so the regression
@@ -25,6 +35,7 @@ from __future__ import annotations
 import time
 
 from repro.core import (
+    KERNELS,
     TKIJ,
     CombinationSpace,
     LocalJoinConfig,
@@ -35,6 +46,7 @@ from repro.core import (
 from repro.datagen.synthetic import SyntheticConfig, generate_collections
 from repro.experiments import PARAMETERS, ResultTable, figure_streaming
 from repro.mapreduce import ClusterConfig
+from repro.plan import ExecutionContext, get_algorithm
 from repro.query.graph import QueryEdge, RTJQuery
 from repro.streaming.parity import equivalent_top_k
 from repro.temporal.predicates import predicate_by_name
@@ -45,8 +57,26 @@ FIG7_SIZE = 1_500
 FIG7_PREDICATE = "before"
 FIG7_GRANULES = 6
 FIG7_K = 100
-MIN_SPEEDUP = 3.0
+# Was 3.0 against the original scalar kernel; hoisting the per-candidate
+# score-vector copies out of the scalar extension loop made the baseline
+# ~16% faster (0.089s -> 0.075s on this workload), which lowers the
+# attainable ratio to ~3.1x on an idle core.
+MIN_SPEEDUP = 2.5
 ROUNDS = 3
+
+# Sweep-kernel setting: an equality-shaped predicate whose threshold boxes pin
+# y's endpoints into narrow ranges, over two coarsely-bucketed collections.
+# The parity arm keeps the scalar kernel feasible; the speedup arm scales the
+# same shape until full-bucket box_mask scans dominate the vector kernel.
+SWEEP_PREDICATE = "equals"
+SWEEP_PARITY_SIZE = 4_000
+SWEEP_PARITY_GRANULES = 4
+SWEEP_PARITY_K = 10
+SWEEP_SIZE = 60_000
+SWEEP_GRANULES = 2
+SWEEP_K = 5
+SWEEP_MIN_SPEEDUP = 1.5
+SWEEP_ROUNDS = 2
 
 STREAM_BATCHES = 8
 STREAM_BATCH_SIZE = 30
@@ -55,23 +85,23 @@ STREAM_K = 20
 STREAM_GRANULES = 8
 
 
-def _fig7_workload():
-    """The Figure 7 query with its selected combinations and bucket contents."""
+def _bucketed_workload(predicate_name, size, granules, k, name, seed):
+    """A binary query with its selected combinations and bucket contents."""
     left, right = generate_collections(
-        2, SyntheticConfig(size=FIG7_SIZE, start_max=10.0 * FIG7_SIZE), seed=7
+        2, SyntheticConfig(size=size, start_max=10.0 * size), seed=seed
     ).values()
     predicate = predicate_by_name(
-        FIG7_PREDICATE, PARAMETERS["P1"], avg_length=left.average_length()
+        predicate_name, PARAMETERS["P1"], avg_length=left.average_length()
     )
     query = RTJQuery(
         vertices=("x1", "x2"),
         collections={"x1": left, "x2": right},
         edges=(QueryEdge("x1", "x2", predicate),),
-        k=FIG7_K,
-        name="fig7-kernel",
+        k=k,
+        name=name,
     )
     statistics = collect_statistics(
-        {left.name: left, right.name: right}, num_granules=FIG7_GRANULES
+        {left.name: left, right.name: right}, num_granules=granules
     )
     space = CombinationSpace(query, statistics)
     selected = TopBucketsSelector(strategy="loose").run(query, statistics, space).selected
@@ -84,11 +114,18 @@ def _fig7_workload():
     return query, selected, intervals
 
 
-def _time_kernel(query, selected, intervals, kernel: str):
-    """Best-of-ROUNDS wall clock of one LocalTopKJoin execution."""
+def _fig7_workload():
+    """The Figure 7 query with its selected combinations and bucket contents."""
+    return _bucketed_workload(
+        FIG7_PREDICATE, FIG7_SIZE, FIG7_GRANULES, FIG7_K, "fig7-kernel", seed=7
+    )
+
+
+def _time_kernel(query, selected, intervals, kernel: str, rounds: int = ROUNDS):
+    """Best-of-``rounds`` wall clock of one LocalTopKJoin execution."""
     best = float("inf")
     results = stats = None
-    for _ in range(ROUNDS):
+    for _ in range(rounds):
         join = LocalTopKJoin(query, LocalJoinConfig(kernel=kernel))
         started = time.perf_counter()
         results, stats = join.run(selected, intervals)
@@ -164,13 +201,138 @@ def bench_join_kernels_fig7(benchmark, record_table):
     assert len({row["candidates_examined"] for row in local}) == 1
     assert len({row["tuples_scored"] for row in distributed}) == 1
     assert len({row["candidates_examined"] for row in distributed}) == 1
-    # Perf: the vector kernel must beat the scalar one >= 3x on one core.
+    # Perf: the vector kernel must beat the scalar one >= 2.5x on one core.
     by_kernel = {row["kernel"]: row for row in local}
     assert by_kernel["vector"]["speedup"] >= MIN_SPEEDUP, by_kernel["vector"]["speedup"]
 
 
+def sweep_parity_table() -> ResultTable:
+    """Three-kernel matrix on the sweep workload, plus the planner contract."""
+    query, selected, intervals = _bucketed_workload(
+        SWEEP_PREDICATE,
+        SWEEP_PARITY_SIZE,
+        SWEEP_PARITY_GRANULES,
+        SWEEP_PARITY_K,
+        "sweep-parity",
+        seed=11,
+    )
+    table = ResultTable(
+        title=(
+            f"Sweep kernel parity — s-{SWEEP_PREDICATE}, |Ci|={SWEEP_PARITY_SIZE}, "
+            f"g={SWEEP_PARITY_GRANULES}, k={SWEEP_PARITY_K}"
+        ),
+        columns=[
+            "kernel", "join_seconds", "tuples_scored", "candidates_examined",
+            "combinations_processed", "matches_scalar",
+        ],
+    )
+    timed = {
+        kernel: _time_kernel(query, selected, intervals, kernel, rounds=1)
+        for kernel in KERNELS
+    }
+    for kernel, (seconds, results, stats) in timed.items():
+        table.add_row(
+            kernel=kernel,
+            join_seconds=seconds,
+            tuples_scored=stats.tuples_scored,
+            candidates_examined=stats.candidates_examined,
+            combinations_processed=stats.combinations_processed,
+            matches_scalar=equivalent_top_k(timed["scalar"][1], results),
+        )
+    return table
+
+
+def bench_join_kernels_sweep_parity(benchmark, record_table):
+    """Blocking CI gate: deterministic sweep parity + AutoPlanner contract."""
+    benchmark.extra_info.update(
+        workload="sweep_parity", kernel="scalar+vector+sweep", backend="serial"
+    )
+    table = benchmark.pedantic(sweep_parity_table, rounds=1, iterations=1)
+    record_table("kernels_sweep_parity", table)
+
+    # Parity: tie-aware-identical top-k and exactly matching work counters
+    # across all three kernels (the contract tests/test_local_join.py enforces
+    # on tiny inputs, re-checked here at benchmark scale).
+    assert all(row["matches_scalar"] for row in table.rows)
+    for counter in ("tuples_scored", "candidates_examined", "combinations_processed"):
+        assert len({row[counter] for row in table.rows}) == 1, counter
+
+    # Planner contract on the large sweep workload: auto mode picks the sweep
+    # kernel for a recorded reason, and an explicit kernel always wins.
+    left, right = generate_collections(
+        2, SyntheticConfig(size=SWEEP_SIZE, start_max=10.0 * SWEEP_SIZE), seed=11
+    ).values()
+    predicate = predicate_by_name(
+        SWEEP_PREDICATE, PARAMETERS["P1"], avg_length=left.average_length()
+    )
+    query = RTJQuery(
+        vertices=("x1", "x2"),
+        collections={"x1": left, "x2": right},
+        edges=(QueryEdge("x1", "x2", predicate),),
+        k=SWEEP_K,
+        name="sweep-planner",
+    )
+    algorithm = get_algorithm("tkij")
+    with ExecutionContext() as context:
+        auto = algorithm.plan(query, context, mode="auto")
+        assert auto.explanation.kernel == "sweep"
+        assert any("kernel=sweep" in reason for reason in auto.explanation.reasons)
+        forced = algorithm.plan(query, context, mode="auto", kernel="scalar")
+        assert forced.explanation.kernel == "scalar"
+        assert forced.knobs["kernel"] == "scalar"
+
+
+def kernel_sweep_speedup_table() -> ResultTable:
+    """Sweep vs vector wall clock on the large-bucket selective workload."""
+    query, selected, intervals = _bucketed_workload(
+        SWEEP_PREDICATE, SWEEP_SIZE, SWEEP_GRANULES, SWEEP_K, "sweep-kernel", seed=11
+    )
+    table = ResultTable(
+        title=(
+            f"Sweep kernel speedup — s-{SWEEP_PREDICATE}, |Ci|={SWEEP_SIZE}, "
+            f"g={SWEEP_GRANULES}, k={SWEEP_K}"
+        ),
+        columns=[
+            "kernel", "join_seconds", "speedup_vs_vector",
+            "tuples_scored", "candidates_examined", "matches_vector",
+        ],
+    )
+    timed = {
+        kernel: _time_kernel(
+            query, selected, intervals, kernel, rounds=SWEEP_ROUNDS
+        )
+        for kernel in ("vector", "sweep")
+    }
+    vector_seconds = timed["vector"][0]
+    for kernel, (seconds, results, stats) in timed.items():
+        table.add_row(
+            kernel=kernel,
+            join_seconds=seconds,
+            speedup_vs_vector=vector_seconds / max(seconds, 1e-9),
+            tuples_scored=stats.tuples_scored,
+            candidates_examined=stats.candidates_examined,
+            matches_vector=equivalent_top_k(timed["vector"][1], results),
+        )
+    return table
+
+
+def bench_join_kernels_sweep_speedup(benchmark, record_table):
+    """Advisory wall-clock gate: sweep >= 1.5x over vector on its home workload."""
+    benchmark.extra_info.update(
+        workload="sweep_speedup", kernel="vector+sweep", backend="serial"
+    )
+    table = benchmark.pedantic(kernel_sweep_speedup_table, rounds=1, iterations=1)
+    record_table("kernels_sweep_speedup", table)
+
+    assert all(row["matches_vector"] for row in table.rows)
+    assert len({row["tuples_scored"] for row in table.rows}) == 1
+    by_kernel = {row["kernel"]: row for row in table.rows}
+    speedup = by_kernel["sweep"]["speedup_vs_vector"]
+    assert speedup >= SWEEP_MIN_SPEEDUP, speedup
+
+
 def kernel_streaming_tables() -> dict[str, ResultTable]:
-    """The bench_streaming batch series replayed under both kernels."""
+    """The bench_streaming batch series replayed under every kernel."""
     return {
         kernel: figure_streaming(
             batch_counts=(STREAM_BATCHES,),
@@ -181,24 +343,28 @@ def kernel_streaming_tables() -> dict[str, ResultTable]:
             kernel=kernel,
             compare_full=True,
         )
-        for kernel in ("scalar", "vector")
+        for kernel in KERNELS
     }
 
 
 def bench_join_kernels_streaming(benchmark, record_table):
     benchmark.extra_info.update(
-        workload="streaming", kernel="scalar+vector", backend="serial"
+        workload="streaming", kernel="scalar+vector+sweep", backend="serial"
     )
     tables = benchmark.pedantic(kernel_streaming_tables, rounds=1, iterations=1)
-    record_table("kernels_streaming_scalar", tables["scalar"])
-    record_table("kernels_streaming_vector", tables["vector"])
+    for kernel in KERNELS:
+        record_table(f"kernels_streaming_{kernel}", tables[kernel])
 
-    scalar_rows, vector_rows = tables["scalar"].rows, tables["vector"].rows
-    assert len(scalar_rows) == len(vector_rows) == STREAM_BATCHES
-    for scalar_row, vector_row in zip(scalar_rows, vector_rows):
-        # Each batch's incremental answer matches full recomputation under
-        # both kernels, and the kernels do identical join work per batch.
-        assert scalar_row["matches_full"] and vector_row["matches_full"]
-        assert scalar_row["tuples_scored"] == vector_row["tuples_scored"], (
-            scalar_row["batch"], scalar_row["tuples_scored"], vector_row["tuples_scored"],
-        )
+    scalar_rows = tables["scalar"].rows
+    assert len(scalar_rows) == STREAM_BATCHES
+    for kernel in ("vector", "sweep"):
+        kernel_rows = tables[kernel].rows
+        assert len(kernel_rows) == STREAM_BATCHES
+        for scalar_row, kernel_row in zip(scalar_rows, kernel_rows):
+            # Each batch's incremental answer matches full recomputation under
+            # every kernel, and the kernels do identical join work per batch.
+            assert scalar_row["matches_full"] and kernel_row["matches_full"]
+            assert scalar_row["tuples_scored"] == kernel_row["tuples_scored"], (
+                kernel, scalar_row["batch"],
+                scalar_row["tuples_scored"], kernel_row["tuples_scored"],
+            )

@@ -3,11 +3,19 @@
 The scalar engine scores one Python object at a time; this package provides the
 MonetDB/X100-style alternative — numpy record batches (:class:`IntervalColumns`)
 built once per bucket, plus vectorized comparator/predicate/aggregation kernels
-with bit-identical float results.  The local join selects between the two
-through ``LocalJoinConfig.kernel`` (see DESIGN.md §8).
+with bit-identical float results, plus endpoint-sorted views and the
+searchsorted window resolution the sweep kernel is built on.  The local join
+selects between the kernels through ``LocalJoinConfig.kernel`` (see DESIGN.md
+§8 and §11).
 """
 
-from .columns import FixedInterval, IntervalColumns, as_columns, as_intervals
+from .columns import (
+    FixedInterval,
+    IntervalColumns,
+    SortedEndpointViews,
+    as_columns,
+    as_intervals,
+)
 from .shm import SharedIntervalColumns, SharedMemoryPool
 from .kernels import (
     VectorScorer,
@@ -16,6 +24,7 @@ from .kernels import (
     compile_vector,
     equals_score_v,
     greater_score_v,
+    sweep_positions,
 )
 
 __all__ = [
@@ -23,6 +32,7 @@ __all__ = [
     "IntervalColumns",
     "SharedIntervalColumns",
     "SharedMemoryPool",
+    "SortedEndpointViews",
     "as_columns",
     "as_intervals",
     "VectorScorer",
@@ -31,4 +41,5 @@ __all__ = [
     "compile_vector",
     "equals_score_v",
     "greater_score_v",
+    "sweep_positions",
 ]

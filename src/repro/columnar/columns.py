@@ -18,7 +18,13 @@ import numpy as np
 
 from ..temporal.interval import Interval
 
-__all__ = ["IntervalColumns", "FixedInterval", "as_columns", "as_intervals"]
+__all__ = [
+    "IntervalColumns",
+    "FixedInterval",
+    "SortedEndpointViews",
+    "as_columns",
+    "as_intervals",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,6 +43,27 @@ class FixedInterval:
 
 
 @dataclass(frozen=True)
+class SortedEndpointViews:
+    """Endpoint-sorted projections of one :class:`IntervalColumns` batch.
+
+    The sweep kernel resolves a threshold box to a *window* over these arrays
+    with ``np.searchsorted`` instead of scanning the whole bucket; the stable
+    permutations map window slots back to insertion-order positions, which is
+    what keeps candidate enumeration order (and therefore every pruning
+    decision) identical to the scalar and vector kernels.
+    """
+
+    start_order: np.ndarray
+    """Stable argsort of the batch's starts (insertion-order positions)."""
+    starts_sorted: np.ndarray
+    """``starts[start_order]`` — non-decreasing."""
+    end_order: np.ndarray
+    """Stable argsort of the batch's ends (insertion-order positions)."""
+    ends_sorted: np.ndarray
+    """``ends[end_order]`` — non-decreasing."""
+
+
+@dataclass(frozen=True)
 class IntervalColumns:
     """Parallel columns of one batch of intervals (insertion order preserved)."""
 
@@ -50,6 +77,13 @@ class IntervalColumns:
     """Row-wise view, kept only when the batch was built from ``Interval``
     objects in-process; deliberately dropped from pickles (see ``__getstate__``)
     so the process backend ships arrays, not object graphs."""
+    _sorted: SortedEndpointViews | None = field(
+        default=None, repr=False, compare=False
+    )
+    """Endpoint-sorted views, built lazily by :meth:`sorted_views`.  Unlike the
+    row-wise view these *are* pickled once built: the sweep join sorts each
+    bucket map-side and ships the views with the batch, so reducers never
+    re-sort (DESIGN.md §11)."""
 
     def __len__(self) -> int:
         return len(self.uids)
@@ -124,6 +158,25 @@ class IntervalColumns:
             payload,
         )
 
+    def sorted_views(self) -> SortedEndpointViews:
+        """Endpoint-sorted views of the batch (built once and memoised).
+
+        Stable sorts, so equal endpoints keep their insertion order — the
+        property the sweep kernel's window/permutation parity proof relies on.
+        """
+        if self._sorted is not None:
+            return self._sorted
+        start_order = np.argsort(self.starts, kind="stable")
+        end_order = np.argsort(self.ends, kind="stable")
+        views = SortedEndpointViews(
+            start_order,
+            self.starts[start_order],
+            end_order,
+            self.ends[end_order],
+        )
+        object.__setattr__(self, "_sorted", views)
+        return views
+
     def to_intervals(self) -> list[Interval]:
         """Row-wise :class:`Interval` objects (rebuilt once and memoised)."""
         if self._intervals is not None:
@@ -140,15 +193,19 @@ class IntervalColumns:
 
     # -------------------------------------------------------------- pickling
     def __getstate__(self) -> dict:
-        """Ship only the columns; the row-wise view is rebuilt on demand."""
+        """Ship the columns plus any built sorted views; the row-wise view is
+        rebuilt on demand (sorted views are dense arrays — cheap to pickle,
+        expensive to recompute per reducer)."""
         return {
             "uids": self.uids,
             "starts": self.starts,
             "ends": self.ends,
             "payloads": self.payloads,
+            "_sorted": self._sorted,
         }
 
     def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "_sorted", None)
         for name, value in state.items():
             object.__setattr__(self, name, value)
         object.__setattr__(self, "_intervals", None)

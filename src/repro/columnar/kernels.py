@@ -13,10 +13,11 @@ hypothesis suite in ``tests/test_columnar.py`` asserts elementwise equality.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from ..index.interval_index import box_window
 from ..index.rtree import Rect
 from ..temporal.aggregation import (
     Aggregation,
@@ -28,12 +29,16 @@ from ..temporal.aggregation import (
 from ..temporal.comparators import ComparatorParams
 from ..temporal.predicates import ScoredPredicate
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .columns import IntervalColumns
+
 __all__ = [
     "equals_score_v",
     "greater_score_v",
     "compile_vector",
     "combine_scores_v",
     "box_mask",
+    "sweep_positions",
     "VectorScorer",
 ]
 
@@ -171,3 +176,38 @@ def box_mask(box: Rect, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
         & (ends >= box.min_y)
         & (ends <= box.max_y)
     )
+
+
+_EMPTY_POSITIONS = np.empty(0, dtype=np.int64)
+
+
+def sweep_positions(box: Rect, columns: "IntervalColumns") -> np.ndarray:
+    """Sweep twin of ``flatnonzero(box_mask(...))``: same positions, same order.
+
+    Resolves ``box`` to a candidate window over the batch's endpoint-sorted
+    views (:func:`repro.index.box_window`), walks the *narrower* of the start
+    and end windows, filters the remaining dimension with a residual mask over
+    only those rows, and sorts the surviving insertion-order positions.  Cost
+    is ``O(log n + w)`` for window size ``w`` versus the full-column
+    ``O(n)`` scan of :func:`box_mask`; the result is identical — the window is
+    exactly one dimension of the conjunction, the residual mask is the other,
+    and the final sort restores insertion order — so the sweep kernel inherits
+    the vector kernel's enumeration order and work counters bit for bit.
+    """
+    views = columns.sorted_views()
+    (s_lo, s_hi), (e_lo, e_hi) = box_window(
+        box, views.starts_sorted, views.ends_sorted
+    )
+    if s_hi <= s_lo or e_hi <= e_lo:
+        return _EMPTY_POSITIONS
+    if s_hi - s_lo <= e_hi - e_lo:
+        window = views.start_order[s_lo:s_hi]
+        residual = columns.ends[window]
+        keep = (residual >= box.min_y) & (residual <= box.max_y)
+    else:
+        window = views.end_order[e_lo:e_hi]
+        residual = columns.starts[window]
+        keep = (residual >= box.min_x) & (residual <= box.max_x)
+    positions = window[keep]
+    positions.sort()
+    return positions

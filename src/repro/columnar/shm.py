@@ -222,6 +222,7 @@ class SharedIntervalColumns(IntervalColumns):
         object.__setattr__(self, "ends", ends)
         object.__setattr__(self, "payloads", state["payloads"])
         object.__setattr__(self, "_intervals", None)
+        object.__setattr__(self, "_sorted", None)
         object.__setattr__(self, "_segment", segment)
 
 

@@ -29,6 +29,7 @@ from ..columnar import (
     box_mask,
     combine_scores_v,
     compile_vector,
+    sweep_positions,
 )
 from ..index import CompiledPredicateQuery, ThresholdIndex
 from ..query.graph import QueryEdge, ResultTuple, RTJQuery
@@ -40,7 +41,7 @@ __all__ = ["KERNELS", "LocalJoinConfig", "LocalJoinStats", "LocalTopKJoin"]
 
 VertexBucket = tuple[str, BucketKey]
 
-KERNELS = ("scalar", "vector")
+KERNELS = ("scalar", "vector", "sweep")
 """Valid values of ``LocalJoinConfig.kernel``."""
 
 
@@ -51,9 +52,12 @@ class LocalJoinConfig:
     ``kernel`` selects the execution substrate of the candidate loops:
     ``"scalar"`` scores one Python object at a time (per-candidate R-tree
     probes), ``"vector"`` scores whole candidate arrays with the numpy kernels
-    of :mod:`repro.columnar` (one boxed range filter per extension step).  Both
-    kernels enumerate the same tuples in the same order, so results are
-    tie-aware identical and the work counters match exactly (DESIGN.md §8).
+    of :mod:`repro.columnar` (one boxed range filter per extension step), and
+    ``"sweep"`` scores the same candidate arrays but resolves each threshold
+    box to a window over endpoint-sorted views with ``searchsorted`` instead
+    of scanning the whole bucket (DESIGN.md §11).  All kernels enumerate the
+    same tuples in the same order, so results are tie-aware identical and the
+    work counters match exactly (DESIGN.md §8).
     """
 
     use_index: bool = True
@@ -148,10 +152,11 @@ class LocalTopKJoin:
             self._threshold_queries[(index, edge.target)] = CompiledPredicateQuery(
                 renamed, fixed_var=edge.target, target_var=edge.source
             )
-        # Vectorized per-edge scorers (x = source, y = target, like _scorers).
+        # Vectorized per-edge scorers (x = source, y = target, like _scorers),
+        # shared by both columnar kernels.
         self._vector_scorers = (
             {index: compile_vector(edge.predicate) for index, edge in enumerate(query.edges)}
-            if self.config.kernel == "vector"
+            if self.config.kernel in ("vector", "sweep")
             else {}
         )
 
@@ -181,10 +186,10 @@ class LocalTopKJoin:
         k = k if k is not None else self.query.k
         heap = _TopKHeap(k)
         stats = LocalJoinStats()
-        vector = self.config.kernel == "vector"
+        columnar = self.config.kernel in ("vector", "sweep")
         # Per-run bucket caches: R-tree indexes for the scalar kernel, columnar
-        # batches for the vector kernel (built once per bucket, then reused by
-        # every combination referencing it).
+        # batches for the vector and sweep kernels (built once per bucket, then
+        # reused by every combination referencing it).
         index_cache: dict[VertexBucket, ThresholdIndex] = {}
         columns_cache: dict[VertexBucket, IntervalColumns] = {}
         self._floor = initial_threshold if self.config.early_termination else 0.0
@@ -200,7 +205,7 @@ class LocalTopKJoin:
                 stats.combinations_skipped += len(ordered) - stats.combinations_processed
                 break
             stats.combinations_processed += 1
-            if vector:
+            if columnar:
                 self._process_combination_v(
                     combination, intervals, heap, stats, columns_cache
                 )
@@ -271,6 +276,17 @@ class LocalTopKJoin:
 
         aggregation = self.query.aggregation
         scorers = self._scorers
+        # Only the connecting-edge slots change between candidates, so the
+        # score vector and the optimistic estimate (actual scores for resolved
+        # edges, upper bounds for the rest) are built once per extension step
+        # and patched in place per candidate.  Callees copy ``new_scores`` on
+        # their own first mutation, so the in-place reuse never aliases a
+        # deeper frame.
+        new_scores = edge_scores.copy()
+        estimate_vector = [
+            edge_scores[index] if edge_scores[index] is not None else edge_ubs[index]
+            for index in range(self._num_edges)
+        ]
         for candidate in candidates:
             stats.candidates_examined += 1
             assignment[vertex] = candidate
@@ -281,21 +297,16 @@ class LocalTopKJoin:
             ):
                 del assignment[vertex]
                 continue
-            new_scores = edge_scores.copy()
             for edge_index, edge in connecting:
-                new_scores[edge_index] = scorers[edge_index](
+                score = scorers[edge_index](
                     assignment[edge.source], assignment[edge.target]
                 )
-            if pruning:
-                # Optimistic estimate: actual scores for resolved edges, upper bounds
-                # for the rest; prune when it cannot beat the current k-th score.
-                estimate_vector = [
-                    new_scores[index] if new_scores[index] is not None else edge_ubs[index]
-                    for index in range(self._num_edges)
-                ]
-                if aggregation.combine(estimate_vector) < threshold:
-                    del assignment[vertex]
-                    continue
+                new_scores[edge_index] = score
+                estimate_vector[edge_index] = score
+            if pruning and aggregation.combine(estimate_vector) < threshold:
+                # The estimate cannot beat the current k-th score.
+                del assignment[vertex]
+                continue
             self._extend(
                 combination, per_vertex, assignment, new_scores, depth + 1,
                 edge_ubs, heap, stats, index_cache,
@@ -375,9 +386,10 @@ class LocalTopKJoin:
         first_vertex = self._join_order[0]
         empty_scores: list[float | None] = [None] * self._num_edges
         first = per_vertex[first_vertex]
+        extend = self._extend_sweep if self.config.kernel == "sweep" else self._extend_v
         for position in range(len(first)):
             assignment = {first_vertex: first.record(position)}
-            self._extend_v(
+            extend(
                 combination, per_vertex, assignment, empty_scores, 1, edge_ubs,
                 heap, stats,
             )
@@ -403,14 +415,58 @@ class LocalTopKJoin:
         floats — so the same tuples pass the same pruning tests and the
         counters agree exactly.
         """
+        self._extend_columnar(
+            combination, per_vertex, assignment, edge_scores, depth, edge_ubs,
+            heap, stats, self._candidate_positions, self._extend_v,
+        )
+
+    def _extend_sweep(
+        self,
+        combination: BucketCombination,
+        per_vertex: Mapping[str, IntervalColumns],
+        assignment: dict[str, FixedInterval],
+        edge_scores: list[float | None],
+        depth: int,
+        edge_ubs: Sequence[float],
+        heap: _TopKHeap,
+        stats: LocalJoinStats,
+    ) -> None:
+        """Sweep twin of :meth:`_extend_v`: same frozen-threshold batch scoring,
+        but the threshold box is resolved to a window over the bucket's
+        endpoint-sorted views (``searchsorted``, :func:`repro.columnar.sweep_positions`)
+        instead of a full-column ``box_mask`` scan — ``O(log n + window)`` per
+        extension step instead of ``O(n)``.  The window resolver returns the
+        box-mask candidate set bit for bit, so parity (and the counters) are
+        inherited from the shared scoring body.
+        """
+        self._extend_columnar(
+            combination, per_vertex, assignment, edge_scores, depth, edge_ubs,
+            heap, stats, self._sweep_candidate_positions, self._extend_sweep,
+        )
+
+    def _extend_columnar(
+        self,
+        combination: BucketCombination,
+        per_vertex: Mapping[str, IntervalColumns],
+        assignment: dict[str, FixedInterval],
+        edge_scores: list[float | None],
+        depth: int,
+        edge_ubs: Sequence[float],
+        heap: _TopKHeap,
+        stats: LocalJoinStats,
+        resolve_positions,
+        extend,
+    ) -> None:
+        """Shared body of the columnar kernels, parameterised over the candidate
+        resolver (box-mask scan or sorted-endpoint window) and the recursive
+        continuation."""
         vertex = self._join_order[depth]
         connecting = self._edges_at[depth]
         pruning = self.config.early_termination and (heap.is_full or self._floor > 0.0)
         threshold = max(self._floor, heap.kth_score) if pruning else 0.0
         columns = per_vertex[vertex]
-        positions = self._candidate_positions(
-            combination, columns, assignment, edge_scores, vertex, connecting,
-            edge_ubs, threshold,
+        positions = resolve_positions(
+            columns, assignment, edge_scores, vertex, connecting, edge_ubs, threshold
         )
         if positions is None:
             cand_uids, cand_starts, cand_ends = columns.uids, columns.starts, columns.ends
@@ -480,15 +536,52 @@ class LocalTopKJoin:
             new_scores = edge_scores.copy()
             for edge_index, _ in connecting:
                 new_scores[edge_index] = float(parts[edge_index][row])
-            self._extend_v(
+            extend(
                 combination, per_vertex, assignment, new_scores, depth + 1,
                 edge_ubs, heap, stats,
             )
             del assignment[vertex]
 
+    def _threshold_box(
+        self,
+        assignment: Mapping[str, FixedInterval],
+        edge_scores: Sequence[float | None],
+        vertex: str,
+        connecting: Sequence[tuple[int, QueryEdge]],
+        edge_ubs: Sequence[float],
+        threshold: float,
+    ):
+        """Threshold box of the next extension step, shared by both resolvers.
+
+        Returns ``(box, whole_bucket)``: ``whole_bucket`` means no pruning box
+        applies (scan everything), otherwise ``box`` is the
+        :class:`CompiledPredicateQuery` box — ``None`` for "no candidate can
+        qualify".  Mirrors the decision cascade of the scalar
+        :meth:`_candidates` exactly.
+        """
+        if not self.config.use_index or not connecting or threshold <= 0.0:
+            return None, True
+
+        driver_index, driver_edge = connecting[0]
+        fixed_var = driver_edge.source if driver_edge.target == vertex else driver_edge.target
+        fixed_interval = assignment[fixed_var]
+        known = {
+            index: score for index, score in enumerate(edge_scores) if score is not None
+        }
+        required = self.query.aggregation.residual_threshold(
+            threshold, driver_index, known, edge_ubs
+        )
+        if required <= 0.0:
+            return None, True
+        if required > 1.0:
+            return None, False
+        box = self._threshold_queries[(driver_index, fixed_var)].box(
+            fixed_interval, required
+        )
+        return box, False
+
     def _candidate_positions(
         self,
-        combination: BucketCombination,
         columns: IntervalColumns,
         assignment: Mapping[str, FixedInterval],
         edge_scores: Sequence[float | None],
@@ -504,28 +597,37 @@ class LocalTopKJoin:
         bucket columns selects exactly the intervals an R-tree probe with that
         box would return, in insertion order.
         """
-        if not self.config.use_index or not connecting or threshold <= 0.0:
-            return None
-
-        driver_index, driver_edge = connecting[0]
-        fixed_var = driver_edge.source if driver_edge.target == vertex else driver_edge.target
-        fixed_interval = assignment[fixed_var]
-        known = {
-            index: score for index, score in enumerate(edge_scores) if score is not None
-        }
-        required = self.query.aggregation.residual_threshold(
-            threshold, driver_index, known, edge_ubs
+        box, whole_bucket = self._threshold_box(
+            assignment, edge_scores, vertex, connecting, edge_ubs, threshold
         )
-        if required <= 0.0:
+        if whole_bucket:
             return None
-        if required > 1.0:
-            return _EMPTY_POSITIONS
-        box = self._threshold_queries[(driver_index, fixed_var)].box(
-            fixed_interval, required
-        )
         if box is None:
             return _EMPTY_POSITIONS
         return np.flatnonzero(box_mask(box, columns.starts, columns.ends))
+
+    def _sweep_candidate_positions(
+        self,
+        columns: IntervalColumns,
+        assignment: Mapping[str, FixedInterval],
+        edge_scores: Sequence[float | None],
+        vertex: str,
+        connecting: Sequence[tuple[int, QueryEdge]],
+        edge_ubs: Sequence[float],
+        threshold: float,
+    ) -> np.ndarray | None:
+        """Sweep twin of :meth:`_candidate_positions`: the same box, resolved to
+        a window over the bucket's endpoint-sorted views instead of a
+        full-column scan (identical positions in identical order, DESIGN.md
+        §11)."""
+        box, whole_bucket = self._threshold_box(
+            assignment, edge_scores, vertex, connecting, edge_ubs, threshold
+        )
+        if whole_bucket:
+            return None
+        if box is None:
+            return _EMPTY_POSITIONS
+        return sweep_positions(box, columns)
 
     def _attribute_mask(
         self,

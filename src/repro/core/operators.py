@@ -238,12 +238,13 @@ class _JoinMapper(Mapper):
 class _ColumnarJoinMapper(Mapper):
     """Routes whole per-bucket record batches instead of single intervals.
 
-    The vector kernel scores buckets as numpy record batches, so the map input
-    is pre-grouped into one :class:`IntervalColumns` per ``(vertex, bucket)``
-    and the batch travels as a unit — on the process backend this pickles three
-    dense arrays per bucket rather than a list of ``Interval`` objects.  The
-    ``join.intervals_shuffled`` counter still counts intervals (not batches),
-    so replication accounting matches the scalar mapper exactly.
+    The vector and sweep kernels score buckets as numpy record batches, so the
+    map input is pre-grouped into one :class:`IntervalColumns` per
+    ``(vertex, bucket)`` and the batch travels as a unit — on the process
+    backend this pickles dense arrays per bucket (including the sweep kernel's
+    endpoint-sorted views, when built) rather than a list of ``Interval``
+    objects.  The ``join.intervals_shuffled`` counter still counts intervals
+    (not batches), so replication accounting matches the scalar mapper exactly.
     """
 
     def __init__(self, routing: Mapping[tuple[str, BucketKey], tuple[int, ...]]) -> None:
@@ -356,9 +357,16 @@ class JoinOp(PhaseOperator):
         }
         bucket_of, input_pairs = self._route_inputs(state, routing)
 
-        if self.join_config.kernel == "vector":
+        if self.join_config.kernel in ("vector", "sweep"):
             mapper_factory = partial(_ColumnarJoinMapper, routing)
             input_pairs = self._columnar_batches(bucket_of, input_pairs)
+            if self.join_config.kernel == "sweep":
+                # Endpoint-sorted views are built once per bucket *before* the
+                # shuffle and pickle with the batch (IntervalColumns ships them
+                # when built), so every replica reducer resolves windows
+                # without re-sorting its buckets.
+                for _, columns in input_pairs:
+                    columns.sorted_views()
             record_size = columnar_record_size
         else:
             mapper_factory = partial(_JoinMapper, bucket_of, routing)

@@ -300,8 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(KERNELS),
         default=None,
         help=(
-            "local-join kernel: 'scalar' (per-tuple Python) or 'vector' (columnar "
-            "numpy batches); default lets --plan auto decide and is scalar otherwise"
+            "local-join kernel: 'scalar' (per-tuple Python), 'vector' (columnar "
+            "numpy batches) or 'sweep' (sorted-endpoint windows via searchsorted); "
+            "default lets --plan auto decide and is scalar otherwise"
         ),
     )
     parser.add_argument(

@@ -3,6 +3,7 @@
 from .interval_index import (
     CompiledPredicateQuery,
     ThresholdIndex,
+    box_window,
     threshold_box,
     threshold_difference_range,
 )
@@ -11,6 +12,7 @@ from .rtree import Rect, RTree
 __all__ = [
     "CompiledPredicateQuery",
     "ThresholdIndex",
+    "box_window",
     "threshold_box",
     "threshold_difference_range",
     "Rect",

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+import numpy as np
+
 from ..temporal.comparators import ComparatorParams
 from ..temporal.interval import Interval
 from ..temporal.predicates import ScoredPredicate
@@ -26,6 +28,7 @@ from .rtree import Rect, RTree
 __all__ = [
     "threshold_difference_range",
     "threshold_box",
+    "box_window",
     "CompiledPredicateQuery",
     "ThresholdIndex",
 ]
@@ -52,6 +55,27 @@ def threshold_difference_range(
     if params.rho == 0.0:
         return (params.lam, inf)
     return (params.lam + params.rho * threshold, inf)
+
+
+def box_window(
+    box: Rect, starts_sorted: np.ndarray, ends_sorted: np.ndarray
+) -> tuple[tuple[int, int], tuple[int, int]]:
+    """Translate a threshold box into half-open windows over sorted endpoints.
+
+    Returns ``((s_lo, s_hi), (e_lo, e_hi))``: the slice of ``starts_sorted``
+    holding exactly the values with ``box.min_x <= start <= box.max_x`` and the
+    slice of ``ends_sorted`` holding exactly ``box.min_y <= end <= box.max_y``.
+    ``searchsorted(..., side="left")`` on the lower bound is the first index
+    with ``value >= bound`` and ``side="right"`` on the upper bound is the
+    first index with ``value > bound`` — together the closed-interval test of
+    :func:`repro.columnar.box_mask`, so a window is the box-mask candidate set
+    of one dimension without touching the other ``n - window`` rows.
+    """
+    s_lo = int(np.searchsorted(starts_sorted, box.min_x, side="left"))
+    s_hi = int(np.searchsorted(starts_sorted, box.max_x, side="right"))
+    e_lo = int(np.searchsorted(ends_sorted, box.min_y, side="left"))
+    e_hi = int(np.searchsorted(ends_sorted, box.max_y, side="right"))
+    return (s_lo, s_hi), (e_lo, e_hi)
 
 
 class CompiledPredicateQuery:

@@ -4,8 +4,8 @@ This package is the dispatch substrate of the evaluation stack:
 
 * :class:`Algorithm` — the plan/execute protocol every strategy implements;
 * :data:`REGISTRY` / :func:`get_algorithm` — the unified algorithm registry
-  (``tkij``, ``naive``, ``allmatrix``, ``rccis``) the harness, figure drivers
-  and CLI dispatch through;
+  (``tkij``, ``naive``, ``allmatrix``, ``rccis``, ``sql-oracle``) the harness,
+  figure drivers and CLI dispatch through;
 * :class:`ExecutionContext` — cluster config, shared execution backend and the
   :class:`StatisticsCache` reusing TKIJ's query-independent phase (a) across
   queries (incrementally maintained on updates);
@@ -29,6 +29,7 @@ from .algorithms import (
 from .context import ExecutionContext, StatisticsCache
 from .planner import AutoPlanner, PlanExplanation
 from .registry import REGISTRY, available_algorithms, get_algorithm, register
+from .sql_oracle import SQLOracleAlgorithm
 
 __all__ = [
     "Algorithm",
@@ -39,6 +40,7 @@ __all__ = [
     "NaiveAlgorithm",
     "AllMatrixAlgorithm",
     "RCCISAlgorithm",
+    "SQLOracleAlgorithm",
     "resolve_join_config",
     "ExecutionContext",
     "StatisticsCache",

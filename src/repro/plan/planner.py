@@ -109,6 +109,16 @@ class AutoPlanner:
     join switches to the vectorized columnar kernel.  Small combinations are
     dominated by per-batch numpy dispatch overhead; large ones by per-candidate
     Python interpretation, which is exactly what the vector kernel removes."""
+    sweep_candidate_threshold: float = 4096.0
+    """Expected candidate tuples per bucket combination above which the
+    full-column ``box_mask`` scans of the vector kernel start to dominate and
+    the sweep kernel's sorted-window resolution pays for its per-bucket sort."""
+    sweep_selectivity: float = 0.01
+    """``k / est_candidates`` ratio below which threshold boxes are expected to
+    stay selective: a small k over a huge candidate space keeps the pruning
+    windows narrow, which is where sweeping beats re-scanning.  A large k
+    relative to the candidates means most extension steps scan most of the
+    bucket anyway, so the vector kernel's single fused mask wins."""
     replan_cost_factor: float = 2.0
     """Full replan threshold: replan once the projected incremental cost of the
     next batches exceeds this multiple of a fresh phase (a)+(b) pass."""
@@ -270,13 +280,18 @@ class AutoPlanner:
         Above :attr:`vector_candidate_threshold` the interpreted per-candidate
         loop dominates and the columnar kernel wins; below it the per-batch
         numpy dispatch overhead does, and the scalar kernel stays faster.
+        Very large combinations with a selective top-k (small ``k`` relative to
+        the candidate space, :attr:`sweep_selectivity`) go further: there the
+        vector kernel's per-step full-column scans dominate and the sweep
+        kernel resolves the same threshold boxes as ``O(log n + window)``
+        searchsorted windows over endpoint-sorted views (DESIGN.md §11).
         Hybrid queries stay scalar: attribute constraints force a per-candidate
-        Python filter inside the vector kernel, which voids its premise.
+        Python filter inside the columnar kernels, which voids their premise.
         """
         if query.has_attribute_constraints:
             reasons.append(
                 "kernel=scalar: attribute constraints require per-candidate "
-                "Python filtering, which the columnar kernel cannot amortise"
+                "Python filtering, which the columnar kernels cannot amortise"
             )
             return "scalar", 0.0
         est_candidates = 1.0
@@ -284,6 +299,19 @@ class AutoPlanner:
             name = query.collections[vertex].name
             buckets = self._estimated_buckets(name, sizes, nonempty, num_granules)
             est_candidates *= sizes[name] / buckets
+        if (
+            est_candidates >= self.sweep_candidate_threshold
+            and query.k <= self.sweep_selectivity * est_candidates
+        ):
+            reasons.append(
+                f"kernel=sweep: ~{est_candidates:.0f} candidate tuples per "
+                f"combination (>= {self.sweep_candidate_threshold:.0f}) with "
+                f"k={query.k} keeping threshold boxes selective "
+                f"(k/candidates {query.k / est_candidates:.4f} <= "
+                f"{self.sweep_selectivity}); sorted-window resolution replaces "
+                f"full-bucket scans"
+            )
+            return "sweep", est_candidates
         if est_candidates >= self.vector_candidate_threshold:
             reasons.append(
                 f"kernel=vector: ~{est_candidates:.0f} candidate tuples per "
@@ -307,8 +335,12 @@ class AutoPlanner:
         inline zero-copy path already wins) and only when the vector kernel
         keeps records in columnar batches — scalar jobs shuffle individual
         intervals, which ``shm`` would ship by value anyway while paying the
-        segment bookkeeping.  An explicit ``ClusterConfig.transfer`` is the
-        user's call and is never overridden.
+        segment bookkeeping.  Sweep jobs ship columnar batches too but stay on
+        the pickle default: a segment descriptor carries only the raw columns,
+        so ``shm`` would make every reducer replica re-sort its buckets, while
+        a pickle ships the map-side endpoint-sorted views with the batch.  An
+        explicit ``ClusterConfig.transfer`` is the user's call and is never
+        overridden.
         """
         cluster = context.cluster
         if cluster.transfer is not None:

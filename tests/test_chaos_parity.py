@@ -23,7 +23,7 @@ CHAOS_PLAN = FaultPlan(seed=13, failure_rate=0.35, max_failures_per_task=2)
 ATTEMPT_BUDGET = 4  # strictly above max_failures_per_task: every fault retried away
 
 BACKENDS = ("serial", "thread", "process")
-TKIJ_KERNELS = ("scalar", "vector")
+TKIJ_KERNELS = ("scalar", "vector", "sweep")
 
 
 @pytest.fixture(scope="module")
@@ -86,6 +86,7 @@ class TestChaosParityMatrix:
             "naive",
             "allmatrix",
             "rccis",
+            "sql-oracle",
         }
 
     @pytest.mark.parametrize("backend", BACKENDS)
@@ -113,6 +114,10 @@ class TestChaosParityMatrix:
         # The in-process oracle never runs the engine; the fault plan must be
         # a no-op rather than an error.
         assert_chaos_parity("naive", chaos_collections, "serial") == 0
+
+    def test_sql_oracle(self, chaos_collections):
+        # Same contract as naive: sqlite runs in-process, no engine tasks.
+        assert_chaos_parity("sql-oracle", chaos_collections, "serial") == 0
 
 
 class TestChaosShuffleHygiene:

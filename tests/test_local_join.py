@@ -1,9 +1,14 @@
 """Tests for the per-reducer local top-k join."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.baselines import naive_top_k
+from repro.columnar import IntervalColumns, box_mask, sweep_positions
 from repro.core import (
+    KERNELS,
     TKIJ,
     CombinationSpace,
     LocalJoinConfig,
@@ -11,6 +16,7 @@ from repro.core import (
     TopBucketsSelector,
     collect_statistics,
 )
+from repro.index import Rect
 from repro.experiments import build_query
 from repro.mapreduce import ClusterConfig
 from repro.streaming.parity import equivalent_top_k
@@ -139,7 +145,7 @@ def _stats_tuple(stats):
 
 
 class TestKernelParity:
-    """Scalar vs vector kernel: tie-aware-identical top-k, identical counters.
+    """Scalar vs vector vs sweep kernel: tie-aware-identical top-k, identical counters.
 
     Parity is exact by construction (same candidate order, same pruning
     thresholds, bit-identical kernel floats), so the counters are compared
@@ -154,20 +160,21 @@ class TestKernelParity:
     ):
         query = build_query(query_name, tiny_collections, P1, k=8)
         _, selected, intervals = _prepare(query)
-        scalar_results, scalar_stats = LocalTopKJoin(
-            query,
-            LocalJoinConfig(
-                use_index=use_index, early_termination=early_termination, kernel="scalar"
-            ),
-        ).run(selected, intervals)
-        vector_results, vector_stats = LocalTopKJoin(
-            query,
-            LocalJoinConfig(
-                use_index=use_index, early_termination=early_termination, kernel="vector"
-            ),
-        ).run(selected, intervals)
-        assert equivalent_top_k(scalar_results, vector_results)
-        assert _stats_tuple(scalar_stats) == _stats_tuple(vector_stats)
+        outcomes = {}
+        for kernel in KERNELS:
+            outcomes[kernel] = LocalTopKJoin(
+                query,
+                LocalJoinConfig(
+                    use_index=use_index,
+                    early_termination=early_termination,
+                    kernel=kernel,
+                ),
+            ).run(selected, intervals)
+        scalar_results, scalar_stats = outcomes["scalar"]
+        for kernel in ("vector", "sweep"):
+            results, stats = outcomes[kernel]
+            assert equivalent_top_k(scalar_results, results), kernel
+            assert _stats_tuple(scalar_stats) == _stats_tuple(stats), kernel
 
     @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
     @pytest.mark.parametrize("early_termination", [True, False])
@@ -176,7 +183,7 @@ class TestKernelParity:
     ):
         """The kernel × backend matrix: every cell matches the serial scalar run."""
         reports = {}
-        for kernel in ("scalar", "vector"):
+        for kernel in KERNELS:
             query = build_query("Qo,m", tiny_collections, P1, k=10)
             with TKIJ(
                 num_granules=4,
@@ -186,28 +193,79 @@ class TestKernelParity:
                 ),
             ) as evaluator:
                 reports[kernel] = evaluator.execute(query)
-        scalar, vector = reports["scalar"], reports["vector"]
-        assert equivalent_top_k(scalar.results, vector.results)
-        assert _stats_tuple(scalar.local_join_stats) == _stats_tuple(vector.local_join_stats)
-        # The columnar mapper ships batches but accounts shuffled intervals.
-        assert scalar.join_metrics.counters.get(
-            "join.intervals_shuffled"
-        ) == vector.join_metrics.counters.get("join.intervals_shuffled")
+        scalar = reports["scalar"]
+        for kernel in ("vector", "sweep"):
+            report = reports[kernel]
+            assert equivalent_top_k(scalar.results, report.results), kernel
+            assert _stats_tuple(scalar.local_join_stats) == _stats_tuple(
+                report.local_join_stats
+            ), kernel
+            # The columnar mapper ships batches but accounts shuffled intervals.
+            assert scalar.join_metrics.counters.get(
+                "join.intervals_shuffled"
+            ) == report.join_metrics.counters.get("join.intervals_shuffled"), kernel
         # And the answer is the true one.
         expected = naive_top_k(build_query("Qo,m", tiny_collections, P1, k=10))
-        assert equivalent_top_k(vector.results, expected)
+        assert equivalent_top_k(reports["sweep"].results, expected)
 
-    def test_initial_threshold_respected_by_vector_kernel(self, tiny_collections):
-        """Seeding the floor prunes identically in both kernels (streaming path)."""
+    @pytest.mark.parametrize("kernel", ["vector", "sweep"])
+    def test_initial_threshold_respected_by_columnar_kernels(
+        self, tiny_collections, kernel
+    ):
+        """Seeding the floor prunes identically in every kernel (streaming path)."""
         query = build_query("Qb,b", tiny_collections, P1, k=5)
         _, selected, intervals = _prepare(query)
         floor = 0.6
         scalar_results, scalar_stats = LocalTopKJoin(
             query, LocalJoinConfig(kernel="scalar")
         ).run(selected, intervals, initial_threshold=floor)
-        vector_results, vector_stats = LocalTopKJoin(
-            query, LocalJoinConfig(kernel="vector")
+        results, stats = LocalTopKJoin(
+            query, LocalJoinConfig(kernel=kernel)
         ).run(selected, intervals, initial_threshold=floor)
-        assert equivalent_top_k(scalar_results, vector_results)
-        assert _stats_tuple(scalar_stats) == _stats_tuple(vector_stats)
-        assert all(result.score > floor for result in vector_results)
+        assert equivalent_top_k(scalar_results, results)
+        assert _stats_tuple(scalar_stats) == _stats_tuple(stats)
+        assert all(result.score > floor for result in results)
+
+
+class TestSweepWindows:
+    """The sweep kernel's searchsorted windows == brute-force box-mask scans."""
+
+    @given(
+        endpoints=st.lists(
+            st.tuples(
+                st.integers(min_value=-20, max_value=20),
+                st.integers(min_value=0, max_value=12),
+            ),
+            min_size=0,
+            max_size=60,
+        ),
+        box_edges=st.tuples(
+            st.floats(min_value=-25.0, max_value=25.0),
+            st.floats(min_value=-25.0, max_value=25.0),
+            st.floats(min_value=-25.0, max_value=35.0),
+            st.floats(min_value=-25.0, max_value=35.0),
+        ),
+    )
+    @settings(deadline=None, max_examples=200)
+    def test_sweep_positions_match_box_mask(self, endpoints, box_edges):
+        """Same candidate positions, same (insertion) order — incl. duplicates."""
+        starts = np.array([float(start) for start, _ in endpoints])
+        ends = np.array([float(start + length) for start, length in endpoints])
+        columns = IntervalColumns(np.arange(len(endpoints)), starts, ends)
+        x_lo, x_hi = sorted(box_edges[:2])
+        y_lo, y_hi = sorted(box_edges[2:])
+        box = Rect(x_lo, x_hi, y_lo, y_hi)
+        expected = np.flatnonzero(box_mask(box, columns.starts, columns.ends))
+        assert np.array_equal(sweep_positions(box, columns), expected)
+
+    def test_unbounded_and_empty_boxes(self):
+        columns = IntervalColumns(
+            np.arange(4),
+            np.array([0.0, 1.0, 1.0, 3.0]),
+            np.array([2.0, 2.0, 5.0, 9.0]),
+        )
+        inf = float("inf")
+        everything = Rect(-inf, inf, -inf, inf)
+        assert np.array_equal(sweep_positions(everything, columns), np.arange(4))
+        nothing = Rect(10.0, 20.0, -inf, inf)
+        assert len(sweep_positions(nothing, columns)) == 0

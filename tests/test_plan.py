@@ -61,6 +61,9 @@ PARITY_QUERY = {
     # evaluation, so the oracle parity probe applies to it unchanged.
     "tkij-streaming": ("Qo,m", "P1"),
     "naive": ("Qo,m", "P1"),
+    # The sqlite oracle runs in-process; the backend matrix only varies the
+    # (unused) engine context, which must stay harmless.
+    "sql-oracle": ("Qo,m", "P1"),
     "allmatrix": ("Qb,b", "PB"),
     "rccis": ("Qo,m", "PB"),
 }
