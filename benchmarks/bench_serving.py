@@ -1,0 +1,157 @@
+"""Serving-layer load generator — throughput, tail latency and admission control.
+
+Starts an in-process query server on one warm ``ExecutionContext``, loads
+synthetic collections through the ``load`` verb, then drives it from several
+client threads issuing the same TKIJ query over and over.  The recorded
+``extra_info`` carries the quantities the regression gate watches: sustained
+``qps``, client-observed ``p50_latency_seconds`` / ``p99_latency_seconds``, and
+the ``rejected`` count (zero for the throughput arm — the queue is deep enough
+to absorb the burst).  The admission arm measures nothing timing-wise; it pins
+the server to one slot and no queue and asserts the BUSY rejection path is
+deterministic under contention.
+
+Repeat queries exercise the warm path: the first request pays statistics
+collection, every later one must report ``statistics_cached`` and raise the
+shared cache's hit counter (asserted via the ``stats`` verb).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.serving import BackgroundServer, QueryClient, QueryServer, ServingError
+
+SIZE = 200
+CLIENTS = 4
+QUERIES_PER_CLIENT = 8
+QUERY = "Qo,m"
+K = 20
+NAMES = ["R", "S", "T"]
+
+
+def run_load(host: str, port: int, clients: int, queries_per_client: int):
+    """Drive the server from ``clients`` threads; return per-query latencies."""
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[BaseException] = []
+
+    def worker(slot: int) -> None:
+        try:
+            with QueryClient(host, port) as client:
+                for _ in range(queries_per_client):
+                    started = time.perf_counter()
+                    response = client.query(QUERY, NAMES, k=K)
+                    latencies[slot].append(time.perf_counter() - started)
+                    assert len(response["results"]) == K
+        except BaseException as error:  # noqa: BLE001 - surfaced to the caller
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(slot,)) for slot in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return [latency for slot in latencies for latency in slot], elapsed
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def bench_serving_throughput(benchmark):
+    server = QueryServer(max_inflight=CLIENTS, max_queue=CLIENTS * QUERIES_PER_CLIENT)
+    with BackgroundServer(server) as (host, port):
+        with QueryClient(host, port) as client:
+            client.load(NAMES, size=SIZE, seed=7)
+            # One cold query so the measured burst runs entirely warm.
+            client.query(QUERY, NAMES, k=K)
+
+        latencies, elapsed = benchmark.pedantic(
+            run_load, args=(host, port, CLIENTS, QUERIES_PER_CLIENT), rounds=1, iterations=1
+        )
+
+        with QueryClient(host, port) as client:
+            stats = client.stats()
+
+    total = CLIENTS * QUERIES_PER_CLIENT
+    assert len(latencies) == total
+    assert stats["queries"]["ok"] == total + 1
+    assert stats["queries"]["errors"] == {}
+    # The warm statistics cache served every query after the cold one.
+    assert stats["statistics_cache"]["hits"] >= total
+    assert stats["admission"]["rejected"] == 0
+
+    benchmark.extra_info.update(
+        workload="serving_throughput",
+        backend="serial",
+        clients=CLIENTS,
+        queries=total,
+        qps=total / elapsed,
+        p50_latency_seconds=percentile(latencies, 0.50),
+        p99_latency_seconds=percentile(latencies, 0.99),
+        rejected=stats["admission"]["rejected"],
+        statistics_cache_hits=stats["statistics_cache"]["hits"],
+    )
+
+
+def bench_serving_admission_control(benchmark):
+    """One slot, no queue: a saturating burst must draw deterministic BUSY errors."""
+
+    def burst():
+        server = QueryServer(max_inflight=1, max_queue=0)
+        with BackgroundServer(server) as (host, port):
+            with QueryClient(host, port) as client:
+                client.load(NAMES, size=SIZE, seed=7)
+                client.query(QUERY, NAMES, k=K)  # warm the cache
+
+            accepted, rejected = 0, 0
+            lock = threading.Lock()
+            barrier = threading.Barrier(CLIENTS)
+
+            def worker() -> None:
+                nonlocal accepted, rejected
+                with QueryClient(host, port) as client:
+                    barrier.wait()
+                    for _ in range(QUERIES_PER_CLIENT):
+                        try:
+                            client.query(QUERY, NAMES, k=K)
+                            with lock:
+                                accepted += 1
+                        except ServingError as error:
+                            assert error.code == "BUSY"
+                            with lock:
+                                rejected += 1
+
+            threads = [threading.Thread(target=worker) for _ in range(CLIENTS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            with QueryClient(host, port) as client:
+                stats = client.stats()
+        return accepted, rejected, stats
+
+    accepted, rejected, stats = benchmark.pedantic(burst, rounds=1, iterations=1)
+
+    total = CLIENTS * QUERIES_PER_CLIENT
+    assert accepted + rejected == total
+    # At least one query per client lands (each retriable slot frees up), and
+    # with a single slot and zero queue the burst cannot be fully admitted.
+    assert accepted >= 1
+    assert rejected >= 1
+    assert stats["admission"]["rejected"] == rejected
+    assert stats["queries"]["errors"].get("BUSY") == rejected
+
+    benchmark.extra_info.update(
+        workload="serving_admission",
+        backend="serial",
+        accepted=accepted,
+        rejected=rejected,
+    )

@@ -31,21 +31,37 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "baseline" / "BENCH_baseline.json"
 
-MEASUREMENT_KEYS = ("peak_rss_bytes", "bytes_spilled")
+MEASUREMENT_KEYS = (
+    "peak_rss_bytes",
+    "bytes_spilled",
+    "p50_latency_seconds",
+    "p99_latency_seconds",
+    "rejected",
+)
 """``extra_info`` keys that carry measured quantities, not configuration.
 
 They are excluded from the like-for-like metadata match and ratio-compared
-against the baseline like the mean time (bench_shuffle.py records them).
+against the baseline like the mean time (bench_shuffle.py records the memory
+keys, bench_serving.py the latency/rejection ones).
+"""
+
+INVERSE_MEASUREMENT_KEYS = ("qps", "statistics_cache_hits")
+"""Measured quantities where **bigger is better** (bench_serving.py).
+
+Compared in the opposite direction: the check fails when the current value
+drops below ``baseline / threshold``.
 """
 
 Entry = tuple[float, dict]
 
 
-def split_meta(meta: dict) -> tuple[dict, dict]:
-    """Split ``extra_info`` into (configuration, measurements)."""
-    config = {key: value for key, value in meta.items() if key not in MEASUREMENT_KEYS}
+def split_meta(meta: dict) -> tuple[dict, dict, dict]:
+    """Split ``extra_info`` into (configuration, measurements, inverse measurements)."""
+    measured = set(MEASUREMENT_KEYS) | set(INVERSE_MEASUREMENT_KEYS)
+    config = {key: value for key, value in meta.items() if key not in measured}
     measures = {key: meta[key] for key in MEASUREMENT_KEYS if key in meta}
-    return config, measures
+    inverse = {key: meta[key] for key in INVERSE_MEASUREMENT_KEYS if key in meta}
+    return config, measures, inverse
 
 
 def load_entries(path: Path) -> dict[str, Entry]:
@@ -105,8 +121,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"NEW      {fullname}: {mean:.4f}s (no baseline)")
             continue
         reference_mean, reference_meta = reference
-        config, measures = split_meta(meta)
-        reference_config, reference_measures = split_meta(reference_meta)
+        config, measures, inverse = split_meta(meta)
+        reference_config, reference_measures, reference_inverse = split_meta(reference_meta)
         if config != reference_config:
             # Different kernel/backend/workload: not the same experiment, so a
             # time comparison would be meaningless. Reported, never failed.
@@ -136,6 +152,23 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"{key_status:8} {fullname}[{key}]: {value:.0f} vs baseline "
                 f"{reference_value:.0f} ({key_ratio:.2f}x)"
+            )
+            if key_ratio > args.threshold:
+                failures.append((f"{fullname}[{key}]", key_ratio))
+        for key in sorted(inverse.keys() & reference_inverse.keys()):
+            reference_value = float(reference_inverse[key])
+            value = float(inverse[key])
+            if reference_value <= 0:
+                print(f"NEW      {fullname}[{key}]: {value:.2f} (baseline 0)")
+                continue
+            # Bigger is better: fail when throughput drops below 1/threshold
+            # of the baseline.  Expressed as baseline/current so that, like
+            # above, ratios over the threshold fail.
+            key_ratio = reference_value / value if value > 0 else float("inf")
+            key_status = "FAIL" if key_ratio > args.threshold else "ok"
+            print(
+                f"{key_status:8} {fullname}[{key}]: {value:.2f} vs baseline "
+                f"{reference_value:.2f} ({key_ratio:.2f}x slowdown)"
             )
             if key_ratio > args.threshold:
                 failures.append((f"{fullname}[{key}]", key_ratio))

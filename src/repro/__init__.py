@@ -5,7 +5,13 @@ The public API re-exports the pieces most callers need:
 * the interval / predicate model (:mod:`repro.temporal`),
 * the query builder (:mod:`repro.query`),
 * the TKIJ evaluator and its configuration (:mod:`repro.core`),
+* the algorithm registry and execution context (:mod:`repro.plan`),
+* streaming collections and incremental evaluation (:mod:`repro.streaming`),
 * workload generators (:mod:`repro.datagen`) and baselines (:mod:`repro.baselines`).
+
+The network-facing query server lives in :mod:`repro.serving` (wire protocol
+in ``docs/PROTOCOL.md``) and is imported on demand rather than re-exported
+here, so library use never pays for the serving stack.
 """
 
 from .core import TKIJ, LocalJoinConfig, TKIJResult

@@ -9,11 +9,18 @@ the generic ``run`` experiment evaluates one query with ``--algorithm``, and
 TKIJ-running experiment.  ``--output PATH`` writes the table under
 ``benchmarks/results/`` (absolute paths are honoured; ``.csv``/``.md`` select
 the format).
+
+Two serving subcommands ride on the same entry point: ``python -m
+repro.experiments serve`` starts the long-lived query server of
+:mod:`repro.serving` and ``... load`` registers synthetic collections on a
+running server (both documented in docs/PROTOCOL.md and the README's
+"Serving" section; ``repro-serve`` is the installed alias of ``serve``).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Callable, Sequence
 
 from ..core import KERNELS
@@ -409,6 +416,15 @@ def run_experiment(name: str, args: argparse.Namespace) -> ResultTable:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in ("serve", "load"):
+        # The serving subcommands have their own option sets; dispatch before
+        # the experiment parser sees (and rejects) the unknown positional.
+        from ..serving import cli as serving_cli
+
+        if argv[0] == "serve":
+            return serving_cli.serve_main(argv[1:])
+        return serving_cli.load_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_algorithms:
@@ -422,7 +438,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.fault_plan = load_fault_plan(args.fault_plan)
         except ValueError as error:
             parser.error(str(error))
-    table = run_experiment(args.experiment, args)
+    try:
+        table = run_experiment(args.experiment, args)
+    except (ValueError, KeyError) as error:
+        # Driver-level validation failures (a bad k, an unknown query, an
+        # impossible knob combination) are user errors, not crashes: report
+        # on stderr and exit non-zero, like every other CLI error path.
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 1
     if args.output:
         written = table.save(args.output)
         print(f"wrote {written}")

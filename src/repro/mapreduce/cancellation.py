@@ -1,0 +1,117 @@
+"""Cooperative query cancellation, checked at task boundaries.
+
+The serving layer needs to abandon a running query when its deadline expires
+without tearing down the worker pool that query shares with every other
+session.  Killing threads is impossible and killing pool processes would
+poison sibling queries, so cancellation is *cooperative*: a
+:class:`CancelToken` is set by whoever owns the deadline (the server's event
+loop) and observed by the engine **between task waves** — the natural
+preemption points of the Map-Reduce dataflow, where no partial task output
+has been merged yet.
+
+The token travels in a :mod:`contextvars` context variable rather than
+through every plan/algorithm/engine signature: the caller wraps the blocking
+execution in :func:`cancel_scope` (on the thread that runs it) and
+:meth:`MapReduceEngine.run` calls :func:`check_cancelled` at each task
+boundary.  Code that never uses scopes pays one ``ContextVar.get`` per wave
+and is otherwise unaffected.
+
+Granularity: a cancelled query stops before the *next* wave of map or reduce
+tasks launches; an individual task that is already running finishes (and its
+output is discarded along with the whole job).  That bounds cancellation
+latency by the longest single task, not the longest job.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+from typing import Iterator
+
+__all__ = [
+    "CancelToken",
+    "QueryCancelledError",
+    "active_token",
+    "cancel_scope",
+    "check_cancelled",
+]
+
+
+class QueryCancelledError(RuntimeError):
+    """The active :class:`CancelToken` was set; execution stopped at a task boundary."""
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        self.reason = reason
+        super().__init__(reason)
+
+
+class CancelToken:
+    """A thread-safe, one-shot cancellation flag.
+
+    ``cancel`` may be called from any thread (the serving event loop cancels
+    tokens owned by executor threads); the first call wins and records its
+    ``reason``, later calls are ignored.  ``check`` raises
+    :class:`QueryCancelledError` once the token is set.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason = "cancelled"
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Set the token (idempotent; the first caller's ``reason`` is kept)."""
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the token has been set."""
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str:
+        """The reason recorded by the first ``cancel`` call."""
+        return self._reason
+
+    def check(self) -> None:
+        """Raise :class:`QueryCancelledError` if the token is set."""
+        if self._event.is_set():
+            raise QueryCancelledError(self._reason)
+
+
+_ACTIVE: contextvars.ContextVar["CancelToken | None"] = contextvars.ContextVar(
+    "repro-cancel-token", default=None
+)
+
+
+def active_token() -> "CancelToken | None":
+    """The token installed by the innermost :func:`cancel_scope`, if any."""
+    return _ACTIVE.get()
+
+
+def check_cancelled() -> None:
+    """Raise :class:`QueryCancelledError` if the active token (if any) is set.
+
+    This is the hook the engine calls at task boundaries; with no active
+    scope it is a single ``ContextVar`` read.
+    """
+    token = _ACTIVE.get()
+    if token is not None:
+        token.check()
+
+
+@contextlib.contextmanager
+def cancel_scope(token: CancelToken) -> Iterator[CancelToken]:
+    """Install ``token`` as the active cancellation token for this context.
+
+    Must be entered on the thread that runs the cancellable work (context
+    variables are per-thread unless a context is explicitly propagated);
+    scopes nest, the innermost token winning.
+    """
+    reset = _ACTIVE.set(token)
+    try:
+        yield token
+    finally:
+        _ACTIVE.reset(reset)

@@ -63,6 +63,7 @@ from .backends import (
     TaskResult,
     create_backend,
 )
+from .cancellation import check_cancelled
 from .cluster import ClusterConfig, JobMetrics
 from .counters import Counters
 from .faults import FaultInjectingBackend
@@ -213,6 +214,7 @@ class MapReduceEngine:
     # ------------------------------------------------------------------ public
     def run(self, job: MapReduceJob, input_pairs: Iterable[KeyValue]) -> JobResult:
         """Run ``job`` over ``input_pairs`` and return outputs plus metrics."""
+        check_cancelled()
         started = time.perf_counter()
         metrics = JobMetrics(job_name=job.name)
         records = list(input_pairs)
@@ -287,6 +289,9 @@ class MapReduceEngine:
         spec_launches = self.backend.speculative_launches
         spec_wins = self.backend.speculative_wins
         while pending:
+            # Task-boundary cancellation point: a deadline set by the serving
+            # layer stops the job before the next wave launches, never mid-task.
+            check_cancelled()
             wave = [GuardedTask(task=tasks[index], attempt=attempt[index]) for index in pending]
             retry: list[int] = []
             for index, outcome in zip(pending, self.backend.run_tasks(wave)):

@@ -4,8 +4,9 @@ This package is the dispatch substrate of the evaluation stack:
 
 * :class:`Algorithm` — the plan/execute protocol every strategy implements;
 * :data:`REGISTRY` / :func:`get_algorithm` — the unified algorithm registry
-  (``tkij``, ``naive``, ``allmatrix``, ``rccis``, ``sql-oracle``) the harness,
-  figure drivers and CLI dispatch through;
+  (``tkij``, ``tkij-streaming``, ``naive``, ``allmatrix``, ``rccis``,
+  ``sql-oracle``) the harness, figure drivers, CLI and query server dispatch
+  through;
 * :class:`ExecutionContext` — cluster config, shared execution backend and the
   :class:`StatisticsCache` reusing TKIJ's query-independent phase (a) across
   queries (incrementally maintained on updates);

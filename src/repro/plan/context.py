@@ -15,7 +15,8 @@ import copy
 import math
 import os
 import pickle
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
@@ -80,10 +81,17 @@ class StatisticsCache:
     (the checksum is a weighted endpoint sum; only an edit whose endpoint sums
     cancel exactly could slip through).  ``hits`` / ``misses`` / ``updates``
     counters let tests and reports assert that phase (a) really was skipped.
+
+    Thread safety: every operation takes an internal re-entrant lock, because
+    the serving layer shares one cache across concurrent executor threads.
+    :meth:`get_or_collect` holds the lock *through* collection, so two
+    sessions racing on the same cold dataset collect phase (a) once — the
+    loser waits and hits.
     """
 
     def __init__(self) -> None:
         self._entries: dict[StatisticsKey, _CacheEntry] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.updates = 0
@@ -97,11 +105,13 @@ class StatisticsCache:
         return (tuple(sorted(collections)), num_granules)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop every cached entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def invalidate(
         self, collections: Mapping[str, IntervalCollection], num_granules: int
@@ -112,30 +122,34 @@ class StatisticsCache:
         replan after the dataset outgrew the granule boundaries the cached
         matrices were built on.
         """
-        return self._entries.pop(self.key_for(collections, num_granules), None) is not None
+        with self._lock:
+            return (
+                self._entries.pop(self.key_for(collections, num_granules), None) is not None
+            )
 
     # ------------------------------------------------------------------ lookup
     def lookup(
         self, collections: Mapping[str, IntervalCollection], num_granules: int
     ) -> DatasetStatistics | None:
         """Cached statistics for this dataset/granularity, or ``None`` (no counter side effects)."""
-        key = self.key_for(collections, num_granules)
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        for name, collection in collections.items():
-            stale = (
-                entry.sizes.get(name) != len(collection)
-                or entry.time_ranges.get(name) != collection.time_range()
-                or not _checksums_match(
-                    entry.checksums.get(name, math.nan), _collection_checksum(collection)
-                )
-            )
-            if stale:
-                # The dataset drifted without update(); drop the entry.
-                del self._entries[key]
+        with self._lock:
+            key = self.key_for(collections, num_granules)
+            entry = self._entries.get(key)
+            if entry is None:
                 return None
-        return entry.statistics
+            for name, collection in collections.items():
+                stale = (
+                    entry.sizes.get(name) != len(collection)
+                    or entry.time_ranges.get(name) != collection.time_range()
+                    or not _checksums_match(
+                        entry.checksums.get(name, math.nan), _collection_checksum(collection)
+                    )
+                )
+                if stale:
+                    # The dataset drifted without update(); drop the entry.
+                    del self._entries[key]
+                    return None
+            return entry.statistics
 
     def get_or_collect(
         self,
@@ -144,25 +158,26 @@ class StatisticsCache:
         collector: Collector | None = None,
     ) -> tuple[DatasetStatistics, bool]:
         """Return ``(statistics, was_cached)``, collecting phase (a) only on a miss."""
-        statistics = self.lookup(collections, num_granules)
-        if statistics is not None:
-            self.hits += 1
-            return statistics, True
-        self.misses += 1
-        collector = collector or collect_statistics
-        statistics = collector(collections, num_granules)
-        self._entries[self.key_for(collections, num_granules)] = _CacheEntry(
-            statistics=statistics,
-            sizes={name: len(collection) for name, collection in collections.items()},
-            time_ranges={
-                name: collection.time_range() for name, collection in collections.items()
-            },
-            checksums={
-                name: _collection_checksum(collection)
-                for name, collection in collections.items()
-            },
-        )
-        return statistics, False
+        with self._lock:
+            statistics = self.lookup(collections, num_granules)
+            if statistics is not None:
+                self.hits += 1
+                return statistics, True
+            self.misses += 1
+            collector = collector or collect_statistics
+            statistics = collector(collections, num_granules)
+            self._entries[self.key_for(collections, num_granules)] = _CacheEntry(
+                statistics=statistics,
+                sizes={name: len(collection) for name, collection in collections.items()},
+                time_ranges={
+                    name: collection.time_range() for name, collection in collections.items()
+                },
+                checksums={
+                    name: _collection_checksum(collection)
+                    for name, collection in collections.items()
+                },
+            )
+            return statistics, False
 
     # ----------------------------------------------------------------- updates
     def update(
@@ -184,27 +199,28 @@ class StatisticsCache:
         such an update treat the entry as stale unless the collection's range is
         unchanged.
         """
-        self.updates += 1
-        maintained = 0
-        for key, entry in self._entries.items():
-            names = set(key[0])
-            ins = {n: v for n, v in (inserted or {}).items() if n in names}
-            dels = {n: v for n, v in (deleted or {}).items() if n in names}
-            if not ins and not dels:
-                continue
-            update_statistics(entry.statistics, inserted=ins, deleted=dels)
-            for name, intervals in ins.items():
-                entry.sizes[name] = entry.sizes.get(name, 0) + len(intervals)
-                entry.checksums[name] = entry.checksums.get(name, 0.0) + _intervals_checksum(
-                    intervals
-                )
-            for name, intervals in dels.items():
-                entry.sizes[name] = entry.sizes.get(name, 0) - len(intervals)
-                entry.checksums[name] = entry.checksums.get(name, 0.0) - _intervals_checksum(
-                    intervals
-                )
-            maintained += 1
-        return maintained
+        with self._lock:
+            self.updates += 1
+            maintained = 0
+            for key, entry in self._entries.items():
+                names = set(key[0])
+                ins = {n: v for n, v in (inserted or {}).items() if n in names}
+                dels = {n: v for n, v in (deleted or {}).items() if n in names}
+                if not ins and not dels:
+                    continue
+                update_statistics(entry.statistics, inserted=ins, deleted=dels)
+                for name, intervals in ins.items():
+                    entry.sizes[name] = entry.sizes.get(name, 0) + len(intervals)
+                    entry.checksums[name] = entry.checksums.get(
+                        name, 0.0
+                    ) + _intervals_checksum(intervals)
+                for name, intervals in dels.items():
+                    entry.sizes[name] = entry.sizes.get(name, 0) - len(intervals)
+                    entry.checksums[name] = entry.checksums.get(
+                        name, 0.0
+                    ) - _intervals_checksum(intervals)
+                maintained += 1
+            return maintained
 
     # ------------------------------------------------------------- checkpoints
     def to_snapshot(self) -> dict[str, Any]:
@@ -214,22 +230,28 @@ class StatisticsCache:
         never leak into a snapshot already taken (entries are maintained *in
         place*, so a shallow copy would).
         """
-        return {
-            "kind": _CACHE_SNAPSHOT_KIND,
-            "version": CHECKPOINT_VERSION,
-            "entries": copy.deepcopy(self._entries),
-            "counters": {"hits": self.hits, "misses": self.misses, "updates": self.updates},
-        }
+        with self._lock:
+            return {
+                "kind": _CACHE_SNAPSHOT_KIND,
+                "version": CHECKPOINT_VERSION,
+                "entries": copy.deepcopy(self._entries),
+                "counters": {
+                    "hits": self.hits,
+                    "misses": self.misses,
+                    "updates": self.updates,
+                },
+            }
 
     def restore(self, snapshot: Mapping[str, Any]) -> None:
         """Replace the cache contents with a :meth:`to_snapshot` payload."""
         if not isinstance(snapshot, Mapping) or snapshot.get("kind") != _CACHE_SNAPSHOT_KIND:
             raise ValueError("not a statistics-cache snapshot")
-        self._entries = copy.deepcopy(dict(snapshot["entries"]))
-        counters = snapshot.get("counters", {})
-        self.hits = counters.get("hits", 0)
-        self.misses = counters.get("misses", 0)
-        self.updates = counters.get("updates", 0)
+        with self._lock:
+            self._entries = copy.deepcopy(dict(snapshot["entries"]))
+            counters = snapshot.get("counters", {})
+            self.hits = counters.get("hits", 0)
+            self.misses = counters.get("misses", 0)
+            self.updates = counters.get("updates", 0)
 
     def refresh_fingerprints(
         self, collections: Mapping[str, IntervalCollection]
@@ -241,11 +263,12 @@ class StatisticsCache:
         border granules, per §3.2) but the staleness fingerprint must follow the
         collection, otherwise the next lookup recollects.
         """
-        for key, entry in self._entries.items():
-            for name in key[0]:
-                if name in collections:
-                    entry.time_ranges[name] = collections[name].time_range()
-                    entry.checksums[name] = _collection_checksum(collections[name])
+        with self._lock:
+            for key, entry in self._entries.items():
+                for name in key[0]:
+                    if name in collections:
+                        entry.time_ranges[name] = collections[name].time_range()
+                        entry.checksums[name] = _collection_checksum(collections[name])
 
 
 @dataclass
@@ -271,6 +294,9 @@ class ExecutionContext:
     _owned_backend: ExecutionBackend | None = field(
         default=None, repr=False, compare=False
     )
+    _backend_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def stream_state(self, key: object, factory: Callable[[], object]) -> object:
         """The per-stream state stored under ``key`` (created via ``factory`` once)."""
@@ -284,12 +310,41 @@ class ExecutionContext:
         Built through :func:`repro.mapreduce.create_cluster_backend`, so a
         cluster config carrying speculation knobs or a fault plan shapes every
         algorithm dispatched through this context, not just raw engines.
+        Creation is locked: concurrent first callers (serving sessions racing
+        on a cold context) get the same pool, never two.
         """
         if self.backend is not None:
             return self.backend
-        if self._owned_backend is None:
-            self._owned_backend = create_cluster_backend(self.cluster)
-        return self._owned_backend
+        with self._backend_lock:
+            if self._owned_backend is None:
+                self._owned_backend = create_cluster_backend(self.cluster)
+            return self._owned_backend
+
+    def session_view(
+        self,
+        cluster: ClusterConfig | None = None,
+        backend: ExecutionBackend | None = None,
+    ) -> "ExecutionContext":
+        """A per-session context sharing this one's warm state.
+
+        The view shares the *same* :class:`StatisticsCache` and ``streams``
+        dict (warm phase (a) results and streaming top-k state are amortised
+        across sessions) while letting the session override the cluster config
+        and/or backend — e.g. a per-request fault plan wrapping the shared
+        worker pool in a :class:`~repro.mapreduce.FaultInjectingBackend`
+        without the injection leaking into sibling queries.
+
+        With no ``backend`` override the view *borrows* the parent's backend
+        (creating the parent's owned pool on demand), so closing a view never
+        tears down the shared pool.
+        """
+        return replace(
+            self,
+            cluster=cluster or self.cluster,
+            backend=backend if backend is not None else self.get_backend(),
+            _owned_backend=None,
+            _backend_lock=threading.Lock(),
+        )
 
     # ------------------------------------------------------------- checkpoints
     def checkpoint(self, path: str | Path | None = None) -> dict[str, Any]:

@@ -1,0 +1,46 @@
+"""Query serving layer: a long-lived asyncio server over one warm ExecutionContext.
+
+Everything PRs 1–7 built — the algorithm registry, pluggable backends, the
+statistics cache, streaming top-k, fault tolerance — is reachable here as a
+network service instead of a one-shot library call:
+
+* :mod:`repro.serving.protocol` — the newline-delimited-JSON wire protocol
+  (framing, verbs, error codes; the normative reference is
+  ``docs/PROTOCOL.md``);
+* :class:`QueryServer` — the asyncio server multiplexing concurrent sessions
+  onto one shared :class:`~repro.plan.ExecutionContext` (single warm
+  :class:`~repro.plan.StatisticsCache` + backend pool), with admission
+  control, per-query deadlines backed by the engine's cooperative
+  cancellation, and a ``stats`` verb exposing per-request metrics;
+* :class:`BackgroundServer` — run a server on a daemon thread (tests, load
+  generators, embedding);
+* :class:`QueryClient` — a blocking socket client speaking the protocol;
+* :mod:`repro.serving.cli` — the ``repro-serve`` console script and the
+  ``serve`` / ``load`` subcommands of ``python -m repro.experiments``.
+"""
+
+from .client import QueryClient, ServingError
+from .protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_results,
+    deterministic_metrics,
+)
+from .server import BackgroundServer, QueryServer
+from .session import AdmissionController, LatencyRecorder, ServerMetrics
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "ProtocolError",
+    "decode_results",
+    "deterministic_metrics",
+    "QueryServer",
+    "BackgroundServer",
+    "QueryClient",
+    "ServingError",
+    "AdmissionController",
+    "LatencyRecorder",
+    "ServerMetrics",
+]

@@ -1,0 +1,214 @@
+"""Command-line entry points of the serving layer.
+
+``repro-serve`` (the console script) and ``python -m repro.experiments serve``
+both land in :func:`serve_main`: build a cluster config from the familiar
+experiment flags, wrap it in a warm :class:`~repro.plan.ExecutionContext`,
+and serve until a ``shutdown`` request or Ctrl-C.  ``python -m
+repro.experiments load`` (:func:`load_main`) is the matching client-side
+loader: connect to a running server and register synthetic collections
+through the wire protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Sequence
+
+from ..experiments.cli import _byte_size, _positive_int, load_fault_plan
+from ..mapreduce import BACKEND_NAMES, TRANSFER_NAMES, ClusterConfig
+from ..plan import ExecutionContext
+from .client import QueryClient, ServingError
+from .server import QueryServer
+
+__all__ = ["build_serve_parser", "build_load_parser", "serve_main", "load_main", "main"]
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The argument parser of ``repro-serve`` / the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve TKIJ/streaming/baseline queries over the NDJSON protocol "
+            "(docs/PROTOCOL.md) from one warm ExecutionContext."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7781, help="bind port (0 picks an ephemeral port)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="serial",
+        help="execution backend of the shared worker pool",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=_positive_int,
+        default=None,
+        help="worker pool size for the thread/process backends (default: CPU count)",
+    )
+    parser.add_argument(
+        "--reducers", type=_positive_int, default=8, help="reduce tasks per job"
+    )
+    parser.add_argument(
+        "--mappers", type=_positive_int, default=4, help="map waves per job"
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=4,
+        help="queries executing concurrently before new ones queue",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="queries allowed to wait for a slot before the server answers BUSY",
+    )
+    parser.add_argument(
+        "--default-deadline-ms",
+        type=_positive_int,
+        default=None,
+        help="deadline applied to queries that do not carry their own (default: none)",
+    )
+    parser.add_argument(
+        "--transfer",
+        choices=list(TRANSFER_NAMES),
+        default=None,
+        help="shuffle transfer strategy (default follows the backend)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=_byte_size,
+        default=None,
+        metavar="BYTES",
+        help="shuffle memory budget (k/m/g suffixes accepted); excess spills to disk",
+    )
+    parser.add_argument(
+        "--max-task-attempts",
+        type=_positive_int,
+        default=4,
+        help="per-task attempt budget of the engine",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="JSON fault plan applied to every served query (chaos soak testing)",
+    )
+    return parser
+
+
+def build_load_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``load`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments load",
+        description="Register server-side synthetic collections on a running query server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, default=7781, help="server port")
+    parser.add_argument(
+        "--names",
+        default="R,S,T",
+        help="comma-separated collection names to create (default R,S,T)",
+    )
+    parser.add_argument(
+        "--size", type=_positive_int, default=10_000, help="intervals per collection"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="base random seed")
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="create streaming collections (ingest batches via the 'ingest' verb)",
+    )
+    return parser
+
+
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    """Run a query server in the foreground until shutdown or Ctrl-C."""
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    try:
+        fault_plan = load_fault_plan(args.fault_plan)
+        cluster = ClusterConfig(
+            backend=args.backend,
+            max_workers=args.max_workers,
+            num_reducers=args.reducers,
+            num_mappers=args.mappers,
+            max_task_attempts=args.max_task_attempts,
+            fault_plan=fault_plan,
+            transfer=args.transfer,
+            memory_budget_bytes=args.memory_budget,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.max_queue < 0:
+        print("error: --max-queue must be non-negative", file=sys.stderr)
+        return 1
+    context = ExecutionContext(cluster=cluster)
+    server = QueryServer(
+        context,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.default_deadline_ms,
+    )
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(f"serving on {host}:{port}", flush=True)
+        try:
+            await server.shutdown_requested.wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        context.close()
+    return 0
+
+
+def load_main(argv: Sequence[str] | None = None) -> int:
+    """Ask a running server to generate and register synthetic collections."""
+    parser = build_load_parser()
+    args = parser.parse_args(argv)
+    names = [name for name in args.names.split(",") if name]
+    if not names:
+        print("error: --names must list at least one collection", file=sys.stderr)
+        return 1
+    try:
+        with QueryClient(args.host, args.port) as client:
+            response = client.load(
+                names, size=args.size, seed=args.seed, streaming=args.streaming
+            )
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 1
+    except ServingError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    for collection in response["collections"]:
+        kind = "streaming" if collection["streaming"] else "static"
+        print(f"loaded {collection['name']}: {collection['size']} intervals ({kind})")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """The ``repro-serve`` console-script entry point."""
+    return serve_main(argv)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the experiments CLI
+    raise SystemExit(main())

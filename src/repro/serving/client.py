@@ -1,0 +1,152 @@
+"""A blocking socket client for the query server's NDJSON protocol.
+
+One :class:`QueryClient` owns one connection; requests are issued
+sequentially (the server answers a connection's requests in order).  Protocol
+failures surface as :class:`ServingError` carrying the structured error code,
+so callers branch on ``error.code`` (``BUSY``, ``DEADLINE``, ``FAULT``, ...)
+instead of parsing messages.  The client is intentionally dependency-free —
+``docs/PROTOCOL.md`` is the contract; this class is just the reference
+implementation.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Mapping
+
+from .protocol import MAX_LINE_BYTES, ProtocolError, decode_message, encode_message
+
+__all__ = ["QueryClient", "ServingError"]
+
+
+class ServingError(Exception):
+    """A server-reported error response (the wire ``error`` object, raised)."""
+
+    def __init__(self, code: str, message: str, details: Mapping[str, Any] | None = None):
+        self.code = code
+        self.message = message
+        self.details = dict(details or {})
+        super().__init__(f"{code}: {message}")
+
+
+class QueryClient:
+    """Blocking protocol client: ``connect``, issue verbs, ``close``.
+
+    Usable as a context manager.  ``timeout`` is the socket timeout in
+    seconds for connect and for each response (``None`` blocks forever —
+    deadline-less queries can legitimately run long).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+        self._next_id = 0
+
+    # --------------------------------------------------------------- plumbing
+    def request(self, verb: str, **fields: Any) -> dict[str, Any]:
+        """Send one request and return the success payload.
+
+        Raises :class:`ServingError` on an ``"ok": false`` response and
+        :class:`ConnectionError` if the server hangs up mid-request.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        self._socket.sendall(encode_message({"id": request_id, "verb": verb, **fields}))
+        line = self._reader.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        try:
+            response = decode_message(line)
+        except ProtocolError as error:
+            raise ConnectionError(f"unreadable server response: {error}") from error
+        if response.get("ok"):
+            return response
+        error_payload = response.get("error") or {}
+        raise ServingError(
+            error_payload.get("code", "INTERNAL"),
+            error_payload.get("message", "unknown server error"),
+            error_payload.get("details"),
+        )
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ verbs
+    def ping(self) -> dict[str, Any]:
+        """Server liveness + protocol version."""
+        return self.request("ping")
+
+    def register(
+        self,
+        name: str,
+        intervals: list[list[float]],
+        streaming: bool = False,
+    ) -> dict[str, Any]:
+        """Register a named collection from explicit ``[uid, start, end]`` triples."""
+        return self.request("register", name=name, intervals=intervals, streaming=streaming)
+
+    def load(
+        self,
+        names: list[str],
+        size: int = 10_000,
+        seed: int = 7,
+        streaming: bool = False,
+    ) -> dict[str, Any]:
+        """Ask the server to generate synthetic collections under these names."""
+        return self.request("load", names=names, size=size, seed=seed, streaming=streaming)
+
+    def ingest(self, name: str, intervals: list[list[float]]) -> dict[str, Any]:
+        """Stage one batch on a streaming collection."""
+        return self.request("ingest", name=name, intervals=intervals)
+
+    def query(
+        self,
+        query: str,
+        collections: list[str],
+        params: str = "P1",
+        k: int = 100,
+        algorithm: str = "tkij",
+        **fields: Any,
+    ) -> dict[str, Any]:
+        """Run one registry query; extra fields pass through (options, deadline_ms, fault...)."""
+        return self.request(
+            "query",
+            query=query,
+            collections=collections,
+            params=params,
+            k=k,
+            algorithm=algorithm,
+            **fields,
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """The server's metrics snapshot."""
+        return self.request("stats")
+
+    def collections(self) -> dict[str, Any]:
+        """The registered collections."""
+        return self.request("collections")
+
+    def algorithms(self) -> dict[str, Any]:
+        """The registry contents."""
+        return self.request("algorithms")
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to stop (acknowledged before it goes down)."""
+        return self.request("shutdown")

@@ -1,0 +1,199 @@
+"""Admission control and per-request metrics of the query server.
+
+Both classes are event-loop-local: the server mutates them only from its loop
+thread (executor threads hand results back before metrics are recorded), so
+they need no locks — what makes them independently unit-testable without an
+event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from collections import Counter, deque
+from typing import Any
+
+from ..mapreduce import Counters
+
+__all__ = ["AdmissionController", "LatencyRecorder", "ServerMetrics"]
+
+
+class AdmissionController:
+    """Bounded in-flight execution slots plus a bounded admission queue.
+
+    ``max_inflight`` queries execute concurrently; up to ``max_queue`` more
+    wait for a slot.  :meth:`try_enter` is the *reject* decision — it must be
+    called (synchronously, on the loop thread) before :meth:`acquire`, and
+    returns ``False`` exactly when every slot is busy **and** the queue is at
+    depth, which the server surfaces as a structured BUSY error.  Because both
+    the check and the counter updates happen on the single loop thread, the
+    decision is race-free without locking.
+    """
+
+    def __init__(self, max_inflight: int, max_queue: int) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.inflight = 0
+        self.waiting = 0
+        self.rejected = 0
+        self._slots = asyncio.Semaphore(max_inflight)
+
+    def try_enter(self) -> bool:
+        """The admit/reject decision; counts the rejection when full."""
+        if self.inflight >= self.max_inflight and self.waiting >= self.max_queue:
+            self.rejected += 1
+            return False
+        return True
+
+    async def acquire(self) -> None:
+        """Wait for an execution slot (after a successful :meth:`try_enter`)."""
+        self.waiting += 1
+        try:
+            await self._slots.acquire()
+        finally:
+            self.waiting -= 1
+        self.inflight += 1
+
+    def release(self) -> None:
+        """Return an execution slot."""
+        self.inflight -= 1
+        self._slots.release()
+
+    def describe(self) -> dict[str, int]:
+        """The admission state reported by the ``stats`` verb."""
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "inflight": self.inflight,
+            "waiting": self.waiting,
+            "rejected": self.rejected,
+        }
+
+
+class LatencyRecorder:
+    """A bounded sliding window of latency samples with percentile summaries.
+
+    The window (default 4096 samples) bounds memory on a long-lived server;
+    percentiles are nearest-rank over the window, so with fewer samples than
+    the window they are exact.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        self._samples: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Record one sample."""
+        self._samples.append(seconds)
+        self.count += 1
+        self.total_seconds += seconds
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 1]) over the current window."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    def describe(self) -> dict[str, float]:
+        """count / mean / p50 / p99 / max summary of the window."""
+        window_max = max(self._samples) if self._samples else 0.0
+        mean = self.total_seconds / self.count if self.count else 0.0
+        return {
+            "count": float(self.count),
+            "mean_seconds": mean,
+            "p50_seconds": self.percentile(0.50),
+            "p99_seconds": self.percentile(0.99),
+            "max_seconds": window_max,
+        }
+
+
+class ServerMetrics:
+    """Everything the ``stats`` verb reports about request handling.
+
+    Per-verb request counts, query outcomes by error code, queue/plan/execute
+    latency distributions, and the *deterministic* engine totals (shuffle,
+    spill, merged counters) accumulated from every completed query's
+    :func:`~repro.serving.protocol.deterministic_metrics`.
+    """
+
+    def __init__(self) -> None:
+        self.requests: Counter[str] = Counter()
+        self.queries_ok = 0
+        self.query_errors: Counter[str] = Counter()
+        self.queue_latency = LatencyRecorder()
+        self.plan_latency = LatencyRecorder()
+        self.execute_latency = LatencyRecorder()
+        self.total_latency = LatencyRecorder()
+        self.engine_counters = Counters()
+        self.shuffle_records = 0
+        self.shuffle_bytes = 0
+        self.bytes_spilled = 0
+        self.spill_runs = 0
+        self.statistics_cache_hits = 0
+
+    def record_request(self, verb: str) -> None:
+        """Count one dispatched request (known verbs only)."""
+        self.requests[verb] += 1
+
+    def record_query_success(
+        self,
+        report_metrics: dict[str, Any],
+        statistics_cached: bool | None,
+        queue_seconds: float,
+        plan_seconds: float,
+        execute_seconds: float,
+    ) -> None:
+        """Fold one completed query into the aggregates.
+
+        ``report_metrics`` is the query's :func:`deterministic_metrics` dict —
+        computed once by the handler and shared with the response payload.
+        """
+        self.queries_ok += 1
+        self.queue_latency.add(queue_seconds)
+        self.plan_latency.add(plan_seconds)
+        self.execute_latency.add(execute_seconds)
+        self.total_latency.add(queue_seconds + plan_seconds + execute_seconds)
+        self.shuffle_records += report_metrics["shuffle_records"]
+        self.shuffle_bytes += report_metrics["shuffle_bytes"]
+        self.bytes_spilled += report_metrics["bytes_spilled"]
+        self.spill_runs += report_metrics["spill_runs"]
+        merged = Counters()
+        merged.values.update(report_metrics["counters"])
+        self.engine_counters.merge(merged)
+        if statistics_cached:
+            self.statistics_cache_hits += 1
+
+    def record_query_error(self, code: str) -> None:
+        """Count one failed query by its protocol error code."""
+        self.query_errors[code] += 1
+
+    def describe(self) -> dict[str, Any]:
+        """The ``stats`` payload sections owned by this recorder."""
+        return {
+            "requests": dict(self.requests),
+            "queries": {
+                "ok": self.queries_ok,
+                "errors": dict(self.query_errors),
+                "statistics_cache_hits": self.statistics_cache_hits,
+            },
+            "latency": {
+                "queue": self.queue_latency.describe(),
+                "plan": self.plan_latency.describe(),
+                "execute": self.execute_latency.describe(),
+                "total": self.total_latency.describe(),
+            },
+            "engine": {
+                "shuffle_records": self.shuffle_records,
+                "shuffle_bytes": self.shuffle_bytes,
+                "bytes_spilled": self.bytes_spilled,
+                "spill_runs": self.spill_runs,
+                "counters": self.engine_counters.as_dict(),
+            },
+        }

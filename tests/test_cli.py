@@ -243,3 +243,56 @@ class TestFaultOptions:
         with pytest.raises(SystemExit):
             main(["run", "--max-task-attempts", "0"])
         assert "positive integer" in capsys.readouterr().err
+
+
+class TestErrorExitCodes:
+    """Runtime failures exit non-zero with a message on stderr, not a traceback."""
+
+    def test_invalid_k_exits_nonzero_with_stderr_message(self, capsys):
+        code = main(["run", "--size", "30", "--k", "0"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "k must be positive" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestServeDispatch:
+    """The serve/load subcommands route to the serving layer CLI."""
+
+    def test_serve_rejects_negative_queue(self, capsys):
+        code = main(["serve", "--max-queue", "-1"])
+        assert code == 1
+        assert "--max-queue" in capsys.readouterr().err
+
+    def test_serve_rejects_unreadable_fault_plan(self, tmp_path, capsys):
+        code = main(["serve", "--fault-plan", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "cannot read fault plan" in capsys.readouterr().err
+
+    def test_load_rejects_empty_names(self, capsys):
+        code = main(["load", "--names", ","])
+        assert code == 1
+        assert "at least one collection" in capsys.readouterr().err
+
+    def test_load_reports_unreachable_server(self, capsys):
+        # Port 1 on localhost is never listening in the test environment.
+        code = main(["load", "--port", "1", "--names", "R"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_load_registers_collections_on_a_live_server(self, capsys):
+        from repro.serving import BackgroundServer, QueryClient, QueryServer
+
+        server = QueryServer()
+        with BackgroundServer(server) as (host, port):
+            code = main(
+                ["load", "--host", host, "--port", str(port), "--names", "R,S", "--size", "25"]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "loaded R: 25 intervals (static)" in out
+            assert "loaded S: 25 intervals (static)" in out
+            with QueryClient(host, port) as client:
+                names = [c["name"] for c in client.collections()["collections"]]
+        assert names == ["R", "S"]

@@ -1,0 +1,556 @@
+"""Tests for the query serving layer (server, protocol, admission, cancellation)."""
+
+import json
+import re
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datagen.synthetic import SyntheticConfig, generate_uniform_collection
+from repro.experiments.workloads import build_query
+from repro.mapreduce import (
+    CancelToken,
+    ClusterConfig,
+    MapReduceEngine,
+    MapReduceJob,
+    Mapper,
+    QueryCancelledError,
+    Reducer,
+    active_token,
+    cancel_scope,
+)
+from repro.plan import ExecutionContext, REGISTRY, get_algorithm, register
+from repro.plan.algorithm import Algorithm, ExecutionPlan, RunReport
+from repro.serving import (
+    BackgroundServer,
+    ERROR_CODES,
+    ProtocolError,
+    QueryClient,
+    QueryServer,
+    ServingError,
+    decode_results,
+    deterministic_metrics,
+)
+from repro.serving.protocol import (
+    decode_intervals,
+    decode_message,
+    encode_intervals,
+    encode_message,
+    encode_results,
+)
+from repro.serving.session import AdmissionController, LatencyRecorder
+from repro.streaming.collection import StreamingCollection
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SIZE = 300
+NAMES = ("R", "S", "T")
+
+
+def make_collections(size=SIZE, names=NAMES, seed=7):
+    """The same deterministic collections on both sides of a parity check."""
+    return [
+        generate_uniform_collection(name, SyntheticConfig(size=size), seed=seed + offset)
+        for offset, name in enumerate(names)
+    ]
+
+
+def register_collections(client, collections, streaming=False):
+    for collection in collections:
+        client.register(
+            collection.name, encode_intervals(collection.intervals), streaming=streaming
+        )
+
+
+def roundtrip(payload):
+    """Normalise Python values the way the wire does (tuples -> lists, ...)."""
+    return json.loads(json.dumps(payload))
+
+
+# --------------------------------------------------------------------- protocol
+class TestProtocolCodec:
+    def test_message_roundtrip(self):
+        message = {"id": 3, "verb": "ping", "nested": {"a": [1, 2.5]}}
+        assert decode_message(encode_message(message)) == message
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_message(b"not json\n")
+        assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_message(b"[1, 2]\n")
+        assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_interval_roundtrip(self):
+        collections = make_collections(size=20)
+        triples = roundtrip(encode_intervals(collections[0].intervals))
+        decoded = decode_intervals(triples)
+        assert [(i.uid, i.start, i.end) for i in decoded] == [
+            (i.uid, i.start, i.end) for i in collections[0].intervals
+        ]
+
+    def test_decode_intervals_rejects_malformed(self):
+        for bad in ("nope", [[1, 2]], [[1, "a", 3]], [[1, 2, 3, 4]]):
+            with pytest.raises(ProtocolError):
+                decode_intervals(bad)
+
+    def test_results_roundtrip_is_exact(self):
+        collections = make_collections(size=80)
+        query = build_query("Qo,m", collections, "P1", 10)
+        report = get_algorithm("naive").run(query, ExecutionContext())
+        assert decode_results(roundtrip(encode_results(report.results))) == report.results
+
+    def test_protocol_error_requires_known_code(self):
+        with pytest.raises(ValueError):
+            ProtocolError("NOT_A_CODE", "nope")
+
+
+# -------------------------------------------------------- cancellation plumbing
+class _CountMapper(Mapper):
+    def map(self, key, value):
+        yield value % 3, 1
+
+
+class _CancelOnFirstMapper(Mapper):
+    def map(self, key, value):
+        token = active_token()
+        if token is not None:
+            token.cancel("cancelled from inside a map task")
+        yield value % 3, 1
+
+
+class _SumReducer(Reducer):
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+def _job(mapper_factory):
+    return MapReduceJob(
+        name="cancellable",
+        mapper_factory=mapper_factory,
+        reducer_factory=_SumReducer,
+        num_reducers=2,
+    )
+
+
+class TestCancellation:
+    def test_token_is_one_shot(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel("first")
+        token.cancel("second")
+        assert token.cancelled
+        assert token.reason == "first"
+        with pytest.raises(QueryCancelledError, match="first"):
+            token.check()
+
+    def test_engine_runs_normally_without_a_scope(self):
+        engine = MapReduceEngine(ClusterConfig(num_reducers=2))
+        result = engine.run(_job(_CountMapper), [(i, i) for i in range(9)])
+        assert sorted(result.outputs) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_precancelled_token_stops_the_job_at_entry(self):
+        engine = MapReduceEngine(ClusterConfig(num_reducers=2))
+        token = CancelToken()
+        token.cancel("deadline of 5 ms exceeded")
+        with cancel_scope(token):
+            with pytest.raises(QueryCancelledError, match="deadline"):
+                engine.run(_job(_CountMapper), [(i, i) for i in range(9)])
+
+    def test_cancellation_is_observed_at_the_next_task_boundary(self):
+        # The first map task sets the active token; the engine must stop at a
+        # subsequent wave boundary instead of completing the job.
+        engine = MapReduceEngine(ClusterConfig(num_reducers=2))
+        token = CancelToken()
+        with cancel_scope(token):
+            with pytest.raises(QueryCancelledError, match="inside a map task"):
+                engine.run(_job(_CancelOnFirstMapper), [(i, i) for i in range(9)])
+        assert token.cancelled
+
+    def test_scopes_nest_and_reset(self):
+        outer, inner = CancelToken(), CancelToken()
+        assert active_token() is None
+        with cancel_scope(outer):
+            assert active_token() is outer
+            with cancel_scope(inner):
+                assert active_token() is inner
+            assert active_token() is outer
+        assert active_token() is None
+
+
+# ----------------------------------------------------------- admission/metrics
+class TestAdmissionController:
+    def test_rejects_only_when_slots_and_queue_are_full(self):
+        admission = AdmissionController(max_inflight=1, max_queue=1)
+        assert admission.try_enter()
+        admission.inflight = 1
+        assert admission.try_enter()  # queue has room
+        admission.waiting = 1
+        assert not admission.try_enter()
+        assert admission.rejected == 1
+
+    def test_zero_queue_rejects_at_capacity(self):
+        admission = AdmissionController(max_inflight=2, max_queue=0)
+        admission.inflight = 2
+        assert not admission.try_enter()
+        assert admission.describe()["rejected"] == 1
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0, max_queue=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=1, max_queue=-1)
+
+
+class TestLatencyRecorder:
+    def test_percentiles_are_nearest_rank(self):
+        recorder = LatencyRecorder()
+        for value in [0.1, 0.2, 0.3, 0.4, 1.0]:
+            recorder.add(value)
+        summary = recorder.describe()
+        assert summary["count"] == 5.0
+        assert summary["p50_seconds"] == 0.3
+        assert summary["p99_seconds"] == 1.0
+        assert summary["max_seconds"] == 1.0
+
+    def test_empty_summary_is_zero(self):
+        assert LatencyRecorder().describe()["p99_seconds"] == 0.0
+
+
+# ----------------------------------------------------------------- wire parity
+class TestServedParity:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("algorithm", ["tkij", "naive"])
+    def test_served_query_matches_direct_run(self, backend, algorithm):
+        # The naive oracle enumerates the cross product, so keep it small.
+        size = SIZE if algorithm == "tkij" else 60
+        cluster = ClusterConfig(backend=backend, num_reducers=4)
+        server = QueryServer(ExecutionContext(cluster=cluster))
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            register_collections(client, make_collections(size=size))
+            served = client.query(
+                "Qo,m", list(NAMES), params="P1", k=15, algorithm=algorithm
+            )
+
+        with ExecutionContext(cluster=ClusterConfig(backend=backend, num_reducers=4)) as ctx:
+            query = build_query("Qo,m", make_collections(size=size), "P1", 15)
+            report = get_algorithm(algorithm).run(query, ctx)
+
+        assert served["results"] == roundtrip(encode_results(report.results))
+        assert served["metrics"] == roundtrip(deterministic_metrics(report))
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_served_streaming_query_matches_direct_run(self, backend):
+        full = make_collections(size=SIZE)
+        initial = [c.intervals[:200] for c in full]
+        batch = [c.intervals[200:] for c in full]
+
+        cluster = ClusterConfig(backend=backend, num_reducers=4)
+        server = QueryServer(ExecutionContext(cluster=cluster))
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            for collection, first in zip(full, initial):
+                client.register(
+                    collection.name, encode_intervals(first), streaming=True
+                )
+            served_first = client.query(
+                "Qo,m",
+                list(NAMES),
+                k=15,
+                algorithm="tkij-streaming",
+                options={"stream_id": "parity"},
+            )
+            for collection, appended in zip(full, batch):
+                client.ingest(collection.name, encode_intervals(appended))
+            served_second = client.query(
+                "Qo,m",
+                list(NAMES),
+                k=15,
+                algorithm="tkij-streaming",
+                options={"stream_id": "parity"},
+            )
+
+        with ExecutionContext(cluster=ClusterConfig(backend=backend, num_reducers=4)) as ctx:
+            streams = [
+                StreamingCollection(c.name, first) for c, first in zip(full, initial)
+            ]
+            query = build_query("Qo,m", streams, "P1", 15)
+            algorithm = get_algorithm("tkij-streaming")
+            first_report = algorithm.run(query, ctx, stream_id="parity")
+            for stream, appended in zip(streams, batch):
+                stream.ingest(appended)
+            second_report = algorithm.run(query, ctx, stream_id="parity")
+
+        assert served_first["results"] == roundtrip(encode_results(first_report.results))
+        assert served_first["metrics"] == roundtrip(deterministic_metrics(first_report))
+        assert served_second["results"] == roundtrip(encode_results(second_report.results))
+        assert served_second["metrics"] == roundtrip(deterministic_metrics(second_report))
+
+    def test_concurrent_clients_get_identical_results(self):
+        server = QueryServer(max_inflight=4)
+        with BackgroundServer(server) as (host, port):
+            with QueryClient(host, port) as loader:
+                register_collections(loader, make_collections())
+            responses = [None] * 4
+            errors = []
+
+            def worker(slot):
+                try:
+                    with QueryClient(host, port) as client:
+                        responses[slot] = client.query("Qo,m", list(NAMES), k=15)
+                except Exception as error:  # noqa: BLE001 - surfaced via the list
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert not errors
+        with ExecutionContext() as ctx:
+            query = build_query("Qo,m", make_collections(), "P1", 15)
+            report = get_algorithm("tkij").run(query, ctx)
+        expected = roundtrip(encode_results(report.results))
+        for response in responses:
+            assert response is not None
+            assert response["results"] == expected
+
+
+# -------------------------------------------------------------- warm-cache path
+class TestWarmCache:
+    def test_repeat_queries_hit_the_statistics_cache(self):
+        server = QueryServer()
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            register_collections(client, make_collections())
+            first = client.query("Qo,m", list(NAMES), k=10)
+            second = client.query("Qo,m", list(NAMES), k=10)
+            stats = client.stats()
+        assert first["statistics_cached"] is False
+        assert second["statistics_cached"] is True
+        assert stats["statistics_cache"]["hits"] > 0
+        assert stats["statistics_cache"]["entries"] >= 1
+        assert stats["queries"]["ok"] == 2
+        assert stats["queries"]["statistics_cache_hits"] == 1
+        assert first["results"] == second["results"]
+
+
+# ----------------------------------------------------------- deadline handling
+class TestDeadlines:
+    def test_deadline_cancels_and_server_keeps_serving(self):
+        server = QueryServer()
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            # Big enough that the 1 ms deadline always expires mid-run.
+            client.load(["A", "B", "C"], size=1200, seed=11)
+            with pytest.raises(ServingError) as excinfo:
+                client.query("Qo,m", ["A", "B", "C"], k=10, deadline_ms=1)
+            assert excinfo.value.code == "DEADLINE"
+            assert excinfo.value.details["deadline_ms"] == 1
+            # The worker pool survives: the same query without a deadline works.
+            response = client.query("Qo,m", ["A", "B", "C"], k=10)
+            stats = client.stats()
+        assert len(response["results"]) == 10
+        assert stats["queries"]["errors"]["DEADLINE"] == 1
+        assert stats["queries"]["ok"] == 1
+
+
+# ------------------------------------------------------------ admission (wire)
+class _BlockingAlgorithm(Algorithm):
+    """Test-only algorithm that parks in execute() until released."""
+
+    name = "test-blocking"
+    title = "Blocking (test)"
+    scored = True
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def plan(self, query, context, **knobs):
+        return ExecutionPlan(self.name, query, context, {})
+
+    def execute(self, plan):
+        self.started.set()
+        assert self.release.wait(timeout=30), "test never released the blocking query"
+        return RunReport(algorithm=self.name, title=self.title, results=[])
+
+
+@pytest.fixture
+def blocking_algorithm():
+    algorithm = _BlockingAlgorithm()
+    register(algorithm)
+    try:
+        yield algorithm
+    finally:
+        REGISTRY.pop(algorithm.name, None)
+
+
+class TestAdmissionOverWire:
+    def test_busy_rejection_and_recovery(self, blocking_algorithm):
+        server = QueryServer(max_inflight=1, max_queue=0)
+        with BackgroundServer(server) as (host, port):
+            with QueryClient(host, port) as setup:
+                setup.load(["A", "B", "C"], size=30, seed=3)
+
+            holder_response = {}
+
+            def hold_slot():
+                with QueryClient(host, port) as holder:
+                    holder_response["value"] = holder.query(
+                        "Qo,m", ["A", "B", "C"], k=5, algorithm=blocking_algorithm.name
+                    )
+
+            thread = threading.Thread(target=hold_slot)
+            thread.start()
+            assert blocking_algorithm.started.wait(timeout=10)
+
+            with QueryClient(host, port) as client:
+                with pytest.raises(ServingError) as excinfo:
+                    client.query("Qo,m", ["A", "B", "C"], k=5)
+                assert excinfo.value.code == "BUSY"
+                assert excinfo.value.details["max_inflight"] == 1
+                blocking_algorithm.release.set()
+                thread.join(timeout=10)
+                # Slot freed: the same query is admitted and completes.
+                response = client.query("Qo,m", ["A", "B", "C"], k=5)
+                stats = client.stats()
+
+        assert holder_response["value"]["results"] == []
+        assert len(response["results"]) == 5
+        assert stats["admission"]["rejected"] == 1
+        assert stats["queries"]["errors"]["BUSY"] == 1
+
+
+# ------------------------------------------------------------- fault injection
+class TestFaultsOverWire:
+    def test_injected_worker_death_fails_one_query_not_the_server(self):
+        server = QueryServer()
+        fault = {
+            "plan": {
+                "rules": [
+                    {"action": "fail", "job": "*", "phase": "map", "task": 0, "attempts": [0, 1]}
+                ]
+            },
+            "max_task_attempts": 2,
+        }
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            register_collections(client, make_collections())
+            with pytest.raises(ServingError) as excinfo:
+                client.query("Qo,m", list(NAMES), k=10, fault=fault)
+            assert excinfo.value.code == "FAULT"
+            assert excinfo.value.details["phase"] == "map"
+            assert excinfo.value.details["attempts"] == 2
+            # Same query, no fault plan: the shared pool is intact.
+            response = client.query("Qo,m", list(NAMES), k=10)
+            stats = client.stats()
+        assert len(response["results"]) == 10
+        assert stats["queries"]["errors"]["FAULT"] == 1
+        assert stats["queries"]["ok"] == 1
+
+    def test_surviving_faults_are_retried_transparently(self):
+        server = QueryServer()
+        fault = {
+            "plan": {
+                "rules": [
+                    {"action": "fail", "job": "*", "phase": "map", "task": 0, "attempts": [0]}
+                ]
+            },
+            "max_task_attempts": 4,
+        }
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            register_collections(client, make_collections())
+            faulted = client.query("Qo,m", list(NAMES), k=10, fault=fault)
+            clean = client.query("Qo,m", list(NAMES), k=10)
+        assert faulted["results"] == clean["results"]
+
+
+# ------------------------------------------------------------ protocol surface
+class TestProtocolSurface:
+    def test_register_ingest_and_error_paths(self):
+        server = QueryServer()
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            assert client.ping()["protocol"] == 1
+            client.register("R", [[0, 1.0, 2.0], [1, 3.0, 5.0]])
+            with pytest.raises(ServingError) as excinfo:
+                client.register("R", [])
+            assert excinfo.value.code == "EXISTS"
+            with pytest.raises(ServingError) as excinfo:
+                client.ingest("missing", [[9, 0.0, 1.0]])
+            assert excinfo.value.code == "NOT_FOUND"
+            with pytest.raises(ServingError) as excinfo:
+                client.ingest("R", [[9, 0.0, 1.0]])  # not a streaming collection
+            assert excinfo.value.code == "BAD_REQUEST"
+            client.register("W", [[0, 0.0, 1.0]], streaming=True)
+            staged = client.ingest("W", [[5, 1.0, 2.0]])
+            assert staged["staged"] == 1 and staged["pending_batches"] == 1
+            with pytest.raises(ServingError) as excinfo:
+                client.ingest("W", [[5, 4.0, 6.0]])  # duplicate uid
+            assert excinfo.value.code == "BAD_REQUEST"
+            with pytest.raises(ServingError) as excinfo:
+                client.query("Qo,m", ["R", "W", "nope"], k=5)
+            assert excinfo.value.code == "NOT_FOUND"
+            with pytest.raises(ServingError) as excinfo:
+                client.query("Qo,m", ["R", "W"], k=5, algorithm="not-an-algorithm")
+            assert excinfo.value.code == "NOT_FOUND"
+            with pytest.raises(ServingError) as excinfo:
+                client.request("query", query="Qo,m", collections=["R", "W"], k=0)
+            assert excinfo.value.code == "BAD_REQUEST"
+            with pytest.raises(ServingError) as excinfo:
+                client.request("no-such-verb")
+            assert excinfo.value.code == "UNKNOWN_VERB"
+            assert sorted(excinfo.value.details["verbs"]) == sorted(QueryServer.VERBS)
+            listing = client.collections()["collections"]
+            assert [c["name"] for c in listing] == ["R", "W"]
+            assert listing[1]["streaming"] and listing[1]["pending_batches"] == 1
+            names = [a["name"] for a in client.algorithms()["algorithms"]]
+            assert "tkij" in names and "tkij-streaming" in names
+
+    def test_malformed_line_gets_bad_request_with_null_id(self):
+        import socket as socket_module
+
+        server = QueryServer()
+        with BackgroundServer(server) as (host, port):
+            with socket_module.create_connection((host, port), timeout=10) as sock:
+                reader = sock.makefile("rb")
+                sock.sendall(b"this is not json\n")
+                response = json.loads(reader.readline())
+        assert response["ok"] is False
+        assert response["id"] is None
+        assert response["error"]["code"] == "BAD_REQUEST"
+
+    def test_shutdown_verb_stops_the_server(self):
+        server = QueryServer()
+        background = BackgroundServer(server)
+        host, port = background.start()
+        try:
+            with QueryClient(host, port) as client:
+                assert client.shutdown()["stopping"] is True
+            deadline = time.monotonic() + 10
+            while not server.shutdown_requested.is_set():
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+        finally:
+            background.stop()
+
+
+# ------------------------------------------------------------------- doc drift
+class TestDocumentationCoverage:
+    def test_protocol_doc_covers_every_verb(self):
+        doc = (REPO_ROOT / "docs" / "PROTOCOL.md").read_text(encoding="utf-8")
+        documented = set(re.findall(r"^### `([a-z]+)`$", doc, re.MULTILINE))
+        assert documented == set(QueryServer.VERBS)
+
+    def test_protocol_doc_covers_every_error_code(self):
+        doc = (REPO_ROOT / "docs" / "PROTOCOL.md").read_text(encoding="utf-8")
+        for code in ERROR_CODES:
+            assert f"`{code}`" in doc, f"error code {code} is undocumented"
+
+    def test_console_script_is_declared_and_importable(self):
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+        assert 'repro-serve = "repro.serving.cli:main"' in pyproject
+        from repro.serving.cli import main
+
+        assert callable(main)
