@@ -1,0 +1,230 @@
+"""Chaos-soak benchmark — crash-safe serving under deterministic wire chaos.
+
+A supervised two-worker server sits behind a :class:`ChaosProxy` that drops
+connections mid-response, truncates frames and delays writes on a seeded
+keyed-hash schedule; on top of that, both workers are SIGKILLed at fixed
+points of the run.  Four retrying clients (two static ``tkij`` sessions, two
+``tkij-streaming`` sessions with seq-numbered mid-run ingest) drive a
+200-query mixed load through the proxy.
+
+The gates are deterministic and blocking: **zero lost responses** (every one
+of the 200 queries gets an answer within its retry budget) and **zero
+incorrect responses** (each answer is identical to the same step of a
+fault-free run of the same scripted session against a plain in-process
+server).  Recovery cost lands in ``extra_info`` for the regression check:
+``recovery_p99_seconds`` is the p99 client-observed latency — the slowest
+queries are the ones that sat out a worker respawn — ratio-compared against
+the committed baseline like every other measurement key.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.datagen.synthetic import SyntheticConfig, generate_uniform_collection
+from repro.serving import (
+    BackgroundServer,
+    ChaosPlan,
+    ChaosProxy,
+    QueryClient,
+    QueryServer,
+    RetryPolicy,
+    ServerSupervisor,
+)
+from repro.serving.protocol import encode_intervals
+
+SIZE = 120
+CLIENTS = 4
+QUERIES_PER_CLIENT = 50  # 4 * 50 = 200 queries total
+QUERY = "Qo,m"
+K = 10
+INITIAL = 80  # intervals registered up front; the rest arrives via ingest
+KILL_AFTER = (60, 130)  # total completed queries before each worker SIGKILL
+
+PLAN = ChaosPlan(
+    seed=11,
+    drop_rate=0.05,
+    truncate_rate=0.05,
+    delay_rate=0.05,
+    delay_seconds=0.01,
+    skip_frames=1,
+)
+
+
+def session_collections(slot: int):
+    """Each client works on its own collection namespace (no cross-talk)."""
+    return [
+        generate_uniform_collection(
+            f"{name}{slot}", SyntheticConfig(size=SIZE), seed=7 + 10 * slot + offset
+        )
+        for offset, name in enumerate(("R", "S", "T"))
+    ]
+
+
+def run_session(client: QueryClient, slot: int, on_done=None) -> list:
+    """One client's scripted mixed workload; returns the per-query results.
+
+    Even slots are static ``tkij`` sessions; odd slots are ``tkij-streaming``
+    sessions that register a prefix, ingest the remainder mid-run with
+    client-chosen ``seq`` numbers (exactly-once under retries), and read their
+    top-k through a pinned ``stream_id``.
+    """
+    streaming = slot % 2 == 1
+    collections = session_collections(slot)
+    names = [collection.name for collection in collections]
+    for collection in collections:
+        intervals = collection.intervals[:INITIAL] if streaming else collection.intervals
+        client.register(collection.name, encode_intervals(intervals), streaming=streaming)
+
+    responses = []
+    for step in range(QUERIES_PER_CLIENT):
+        if streaming and step == QUERIES_PER_CLIENT // 2:
+            for seq, collection in enumerate(collections, start=1):
+                batch = encode_intervals(collection.intervals[INITIAL:])
+                client.ingest(collection.name, batch, seq=seq)
+        fields = (
+            {"algorithm": "tkij-streaming", "options": {"stream_id": f"soak-{slot}"}}
+            if streaming
+            else {}
+        )
+        responses.append(client.query(QUERY, names, k=K, **fields)["results"])
+        if on_done is not None:
+            on_done()
+    return responses
+
+
+def fault_free_reference() -> list[list]:
+    """The same four scripted sessions against a plain in-process server."""
+    server = QueryServer(max_inflight=CLIENTS, max_queue=4 * CLIENTS)
+    with BackgroundServer(server) as (host, port):
+        reference = []
+        for slot in range(CLIENTS):
+            with QueryClient(host, port) as client:
+                reference.append(run_session(client, slot))
+    return reference
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def bench_chaos_soak(benchmark):
+    expected = fault_free_reference()
+
+    def soak():
+        supervisor = ServerSupervisor(
+            num_workers=2,
+            max_inflight=CLIENTS,
+            max_queue=4 * CLIENTS,
+            drain_timeout=10.0,
+            heartbeat_interval=0.1,
+            restart_base=0.05,
+            restart_cap=0.5,
+        )
+        background = BackgroundServer(supervisor)
+        frontend = background.start()
+        proxy = ChaosProxy(*frontend, PLAN)
+        proxy_background = BackgroundServer(proxy)
+        proxied = proxy_background.start()
+        try:
+            completed = 0
+            kills = list(KILL_AFTER)
+            latencies: list[float] = []
+            lock = threading.Lock()
+            outcomes: list = [None] * CLIENTS
+            errors: list[BaseException] = []
+
+            def on_done():
+                # SIGKILL the next worker once the load crosses each mark.
+                nonlocal completed
+                with lock:
+                    completed += 1
+                    due = kills and completed >= kills[0]
+                    if due:
+                        kills.pop(0)
+                if due:
+                    victim = supervisor.workers[len(KILL_AFTER) - len(kills) - 1]
+                    if victim.alive():
+                        victim.process.kill()
+
+            def drive(slot: int) -> None:
+                try:
+                    retry = RetryPolicy(
+                        max_attempts=12, base_delay=0.05, max_delay=0.5, seed=slot
+                    )
+                    with QueryClient(
+                        *proxied, retry=retry, affinity=f"soak-{slot}"
+                    ) as client:
+                        timed: list = []
+
+                        def timed_done():
+                            latencies.append(time.perf_counter() - timed.pop())
+                            on_done()
+
+                        def timed_session():
+                            original = client.request
+
+                            def request(verb, **fields):
+                                if verb == "query":
+                                    timed.append(time.perf_counter())
+                                return original(verb, **fields)
+
+                            client.request = request
+                            return run_session(client, slot, on_done=timed_done)
+
+                        outcomes[slot] = timed_session()
+                except BaseException as error:  # noqa: BLE001 - surfaced below
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=drive, args=(slot,)) for slot in range(CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+            return outcomes, latencies, supervisor.describe(), proxy.stats
+        finally:
+            proxy_background.stop()
+            background.stop()
+
+    outcomes, latencies, supervision, chaos_stats = benchmark.pedantic(
+        soak, rounds=1, iterations=1
+    )
+
+    total = CLIENTS * QUERIES_PER_CLIENT
+    lost = sum(
+        QUERIES_PER_CLIENT - len(responses or []) for responses in outcomes
+    )
+    incorrect = sum(
+        1
+        for slot in range(CLIENTS)
+        for got, want in zip(outcomes[slot] or [], expected[slot])
+        if got != want
+    )
+    # The blocking gates: nothing lost, nothing wrong, and the chaos was real.
+    assert lost == 0, f"{lost} of {total} responses lost"
+    assert incorrect == 0, f"{incorrect} of {total} responses incorrect"
+    assert len(latencies) == total
+    assert supervision["respawns"] >= len(KILL_AFTER)
+    assert chaos_stats["drops"] + chaos_stats["truncates"] > 0
+
+    benchmark.extra_info.update(
+        workload="chaos_soak",
+        backend="serial",
+        clients=CLIENTS,
+        queries=total,
+        chaos_seed=PLAN.seed,
+        lost_responses=lost,
+        incorrect_responses=incorrect,
+        respawns=supervision["respawns"],
+        chaos_drops=chaos_stats["drops"],
+        chaos_truncates=chaos_stats["truncates"],
+        recovery_p50_seconds=percentile(latencies, 0.50),
+        recovery_p99_seconds=percentile(latencies, 0.99),
+    )

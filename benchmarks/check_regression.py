@@ -37,12 +37,22 @@ MEASUREMENT_KEYS = (
     "p50_latency_seconds",
     "p99_latency_seconds",
     "rejected",
+    "recovery_p50_seconds",
+    "recovery_p99_seconds",
+    "respawns",
+    "chaos_drops",
+    "chaos_truncates",
+    "lost_responses",
+    "incorrect_responses",
 )
 """``extra_info`` keys that carry measured quantities, not configuration.
 
 They are excluded from the like-for-like metadata match and ratio-compared
 against the baseline like the mean time (bench_shuffle.py records the memory
-keys, bench_serving.py the latency/rejection ones).
+keys, bench_serving.py the latency/rejection ones, bench_chaos.py the
+recovery-latency/respawn/injury counts — its hard zeroes, lost and incorrect
+responses, are asserted inside the benchmark itself and recorded here so a
+baseline of 0 stays visible).
 """
 
 INVERSE_MEASUREMENT_KEYS = ("qps", "statistics_cache_hits")

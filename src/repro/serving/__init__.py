@@ -11,14 +11,23 @@ network service instead of a one-shot library call:
   onto one shared :class:`~repro.plan.ExecutionContext` (single warm
   :class:`~repro.plan.StatisticsCache` + backend pool), with admission
   control, per-query deadlines backed by the engine's cooperative
-  cancellation, and a ``stats`` verb exposing per-request metrics;
-* :class:`BackgroundServer` — run a server on a daemon thread (tests, load
-  generators, embedding);
-* :class:`QueryClient` — a blocking socket client speaking the protocol;
+  cancellation, graceful drain (SIGTERM or the ``drain`` verb) and atomic
+  state checkpointing, and a ``stats`` verb exposing per-request metrics;
+* :class:`ServerSupervisor` — N workers as supervised child processes behind
+  one frontend: session-affinity routing, crash respawn with backoff and a
+  circuit breaker, warm restore from checkpoints, rolling restart;
+* :class:`BackgroundServer` — run a server (or supervisor, or chaos proxy) on
+  a daemon thread (tests, load generators, embedding);
+* :class:`QueryClient` — a blocking socket client speaking the protocol, with
+  a deterministic :class:`RetryPolicy` (reconnect, capped exponential backoff,
+  seeded jitter) and exactly-once ingest via sequence numbers;
+* :class:`ChaosProxy` — deterministic wire-level fault injection (connection
+  drops, frame truncation, delays) for reproducible recovery testing;
 * :mod:`repro.serving.cli` — the ``repro-serve`` console script and the
   ``serve`` / ``load`` subcommands of ``python -m repro.experiments``.
 """
 
+from .chaos import ChaosPlan, ChaosProxy
 from .client import QueryClient, ServingError
 from .protocol import (
     ERROR_CODES,
@@ -27,8 +36,10 @@ from .protocol import (
     decode_results,
     deterministic_metrics,
 )
+from .retry import IDEMPOTENT_VERBS, RETRYABLE_CODES, RetryPolicy
 from .server import BackgroundServer, QueryServer
 from .session import AdmissionController, LatencyRecorder, ServerMetrics
+from .supervisor import ServerSupervisor, WorkerHandle
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -38,8 +49,15 @@ __all__ = [
     "deterministic_metrics",
     "QueryServer",
     "BackgroundServer",
+    "ServerSupervisor",
+    "WorkerHandle",
     "QueryClient",
     "ServingError",
+    "RetryPolicy",
+    "RETRYABLE_CODES",
+    "IDEMPOTENT_VERBS",
+    "ChaosPlan",
+    "ChaosProxy",
     "AdmissionController",
     "LatencyRecorder",
     "ServerMetrics",

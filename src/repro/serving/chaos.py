@@ -1,0 +1,259 @@
+"""Deterministic wire-level chaos: a TCP proxy that breaks responses on schedule.
+
+:class:`ChaosProxy` sits between a client and a query server (or supervisor
+frontend) and injures *response* frames — the direction where a worker crash
+actually hurts a client:
+
+* **drop** — forward a prefix of the frame, then abort the connection
+  (RST): the client sees a reset mid-response;
+* **truncate** — forward the frame without its trailing newline, then
+  close cleanly: the client sees EOF on a partial line, the exact case
+  :meth:`QueryClient.request` must refuse to decode;
+* **delay** — sleep before forwarding, stressing client timeouts.
+
+Whether a frame is injured is not random: it is a keyed blake2b draw over
+``(seed, connection_index, frame_index, action)`` — the same determinism
+pattern as :class:`repro.mapreduce.FaultPlan` — so a chaos run replays
+identically regardless of timing or interleaving.  Request frames pass
+through untouched (client→server chaos would make non-idempotent verbs
+ambiguous in ways a *test* cannot assert around; the retry machinery is
+exercised by the response-side injuries plus real worker SIGKILLs).
+
+The proxy duck-types the server lifecycle (async ``start``/``stop``,
+``shutdown_requested``, ``address``) so
+:class:`~repro.serving.server.BackgroundServer` can host it on a thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Any
+
+from .protocol import MAX_LINE_BYTES
+
+__all__ = ["ChaosPlan", "ChaosProxy"]
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """What fraction of response frames to injure, and how.
+
+    Rates are independent probabilities evaluated in priority order
+    drop → truncate → delay (one action per frame at most).  The first
+    ``skip_frames`` responses of every connection are spared, so a client can
+    always get through its handshake (``ping``) before the weather turns.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    truncate_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.05
+    skip_frames: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "truncate_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        if self.skip_frames < 0:
+            raise ValueError("skip_frames must be non-negative")
+
+    def _draw(self, connection: int, frame: int, action: str) -> float:
+        """Uniform [0, 1) keyed by (seed, connection, frame, action)."""
+        key = f"{self.seed}:{connection}:{frame}:{action}".encode()
+        digest = blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def action_for(self, connection: int, frame: int) -> str | None:
+        """The injury for this response frame: 'drop', 'truncate', 'delay' or None."""
+        if frame < self.skip_frames:
+            return None
+        if self._draw(connection, frame, "drop") < self.drop_rate:
+            return "drop"
+        if self._draw(connection, frame, "truncate") < self.truncate_rate:
+            return "truncate"
+        if self._draw(connection, frame, "delay") < self.delay_rate:
+            return "delay"
+        return None
+
+
+class ChaosProxy:
+    """A deterministic fault-injecting TCP proxy for the NDJSON protocol.
+
+    Point it at a running server (or supervisor frontend) and point clients at
+    :attr:`address`.  ``stats`` counts what it did (connections, frames, and
+    per-action injuries) for assertions and the chaos benchmark.
+    """
+
+    def __init__(
+        self,
+        backend_host: str,
+        backend_port: int,
+        plan: ChaosPlan,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.backend_host = backend_host
+        self.backend_port = backend_port
+        self.plan = plan
+        self.host = host
+        self.port = port
+        self.shutdown_requested = asyncio.Event()
+        self.stats: dict[str, int] = {
+            "connections": 0,
+            "frames": 0,
+            "drops": 0,
+            "truncates": 0,
+            "delays": 0,
+        }
+        self._server: asyncio.base_events.Server | None = None
+        self._connection_ids = itertools.count()
+        self._active: set[asyncio.Task] = set()
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple[str, int]:
+        """The proxy's bound (host, port) — valid after :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("chaos proxy is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5)
+            except asyncio.TimeoutError:
+                pass
+            self._server = None
+        for task in list(self._active):
+            task.cancel()
+        if self._active:
+            await asyncio.gather(*self._active, return_exceptions=True)
+        self.shutdown_requested.set()
+
+    # ------------------------------------------------------------ connections
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._active.add(task)
+        connection = next(self._connection_ids)
+        self.stats["connections"] += 1
+        try:
+            try:
+                backend_reader, backend_writer = await asyncio.open_connection(
+                    self.backend_host, self.backend_port, limit=MAX_LINE_BYTES
+                )
+            except OSError:
+                writer.close()
+                return
+            try:
+                await asyncio.gather(
+                    self._pump_requests(reader, backend_writer),
+                    self._injure_responses(connection, backend_reader, writer),
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            except asyncio.CancelledError:
+                pass  # stop() cancels lingering connections; exit quietly
+            finally:
+                for w in (backend_writer, writer):
+                    try:
+                        w.close()
+                        await w.wait_closed()
+                    except (OSError, ConnectionResetError, RuntimeError):
+                        pass
+        finally:
+            if task is not None:
+                self._active.discard(task)
+
+    @staticmethod
+    async def _pump_requests(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Client → server: transparent byte pump."""
+        try:
+            while True:
+                chunk = await reader.read(64 * 1024)
+                if not chunk:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except (OSError, RuntimeError):
+                pass
+
+    async def _injure_responses(
+        self,
+        connection: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Server → client: frame-aware forwarding with scheduled injuries."""
+        frame = 0
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    break
+                if not line:
+                    break
+                action = self.plan.action_for(connection, frame)
+                self.stats["frames"] += 1
+                frame += 1
+                if action == "drop":
+                    self.stats["drops"] += 1
+                    # A prefix of the frame, then RST: the mid-response reset
+                    # of a worker dying with the socket open.
+                    writer.write(line[: max(1, len(line) // 2)])
+                    try:
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError, OSError):
+                        pass
+                    writer.transport.abort()
+                    return
+                if action == "truncate":
+                    self.stats["truncates"] += 1
+                    # The frame minus its terminator, then clean EOF: the
+                    # partial line a client must refuse to decode.
+                    writer.write(line.rstrip(b"\n"))
+                    try:
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError, OSError):
+                        pass
+                    return
+                if action == "delay":
+                    self.stats["delays"] += 1
+                    await asyncio.sleep(self.plan.delay_seconds)
+                writer.write(line)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except (OSError, RuntimeError):
+                pass

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from ..experiments.cli import _byte_size, _positive_int, load_fault_plan
@@ -21,6 +23,7 @@ from ..mapreduce import BACKEND_NAMES, TRANSFER_NAMES, ClusterConfig
 from ..plan import ExecutionContext
 from .client import QueryClient, ServingError
 from .server import QueryServer
+from .supervisor import ServerSupervisor
 
 __all__ = ["build_serve_parser", "build_load_parser", "serve_main", "load_main", "main"]
 
@@ -100,6 +103,32 @@ def build_serve_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="JSON fault plan applied to every served query (chaos soak testing)",
     )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker processes; above 1 runs the supervised multi-worker frontend "
+            "(crash respawn, session-affinity routing, rolling restart)"
+        ),
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds inflight queries get to finish when draining (SIGTERM or drain verb)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "directory for server checkpoints; workers respawn warm from here "
+            "(default: supervisor mode uses a private directory removed on exit; "
+            "single mode does not checkpoint)"
+        ),
+    )
     return parser
 
 
@@ -128,10 +157,74 @@ def build_load_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: serve flags that configure the in-process engine; in supervisor mode each
+#: worker builds its own default context, so these cannot take effect there.
+_ENGINE_FLAG_DEFAULTS = (
+    ("backend", "serial"),
+    ("max_workers", None),
+    ("reducers", 8),
+    ("mappers", 4),
+    ("transfer", None),
+    ("memory_budget", None),
+    ("max_task_attempts", 4),
+    ("fault_plan", None),
+)
+
+
+def _serve_supervised(args: argparse.Namespace) -> int:
+    """The ``--workers N`` (N > 1) path: supervised multi-worker frontend."""
+    for name, default in _ENGINE_FLAG_DEFAULTS:
+        if getattr(args, name) != default:
+            flag = "--" + name.replace("_", "-")
+            print(
+                f"error: {flag} configures the in-process engine and is not "
+                "supported with --workers > 1",
+                file=sys.stderr,
+            )
+            return 1
+    supervisor = ServerSupervisor(
+        num_workers=args.workers,
+        host=args.host,
+        port=args.port,
+        checkpoint_dir=args.checkpoint_dir,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        drain_timeout=args.drain_timeout,
+        default_deadline_ms=args.default_deadline_ms,
+    )
+
+    async def run() -> None:
+        host, port = await supervisor.start()
+        print(f"supervising {args.workers} workers on {host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+        loop.add_signal_handler(signal.SIGTERM, supervisor.shutdown_requested.set)
+        try:
+            await supervisor.shutdown_requested.wait()
+        finally:
+            await supervisor.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    except (OSError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def serve_main(argv: Sequence[str] | None = None) -> int:
     """Run a query server in the foreground until shutdown or Ctrl-C."""
     parser = build_serve_parser()
     args = parser.parse_args(argv)
+    if args.drain_timeout <= 0:
+        print("error: --drain-timeout must be positive", file=sys.stderr)
+        return 1
+    if args.max_queue < 0:
+        print("error: --max-queue must be non-negative", file=sys.stderr)
+        return 1
+    if args.workers > 1:
+        return _serve_supervised(args)
     try:
         fault_plan = load_fault_plan(args.fault_plan)
         cluster = ClusterConfig(
@@ -147,9 +240,9 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    if args.max_queue < 0:
-        print("error: --max-queue must be non-negative", file=sys.stderr)
-        return 1
+    checkpoint_path = (
+        Path(args.checkpoint_dir) / "server.ckpt" if args.checkpoint_dir else None
+    )
     context = ExecutionContext(cluster=cluster)
     server = QueryServer(
         context,
@@ -158,9 +251,20 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
         default_deadline_ms=args.default_deadline_ms,
+        checkpoint_path=checkpoint_path,
+        drain_timeout=args.drain_timeout,
     )
+    if checkpoint_path is not None and checkpoint_path.exists():
+        try:
+            server.restore_state(checkpoint_path)
+            print(f"restored checkpoint ({len(server.collections)} collections)")
+        except ValueError as error:
+            print(f"starting cold: {error}", file=sys.stderr)
 
     async def run() -> None:
+        loop = asyncio.get_running_loop()
+        # SIGTERM drains: reject new work, finish inflight, checkpoint, exit.
+        loop.add_signal_handler(signal.SIGTERM, server.begin_drain)
         host, port = await server.start()
         print(f"serving on {host}:{port}", flush=True)
         try:

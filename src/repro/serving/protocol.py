@@ -41,6 +41,8 @@ __all__ = [
     "E_NOT_FOUND",
     "E_EXISTS",
     "E_BUSY",
+    "E_DRAINING",
+    "E_UNAVAILABLE",
     "E_DEADLINE",
     "E_FAULT",
     "E_INTERNAL",
@@ -68,6 +70,8 @@ E_UNKNOWN_VERB = "UNKNOWN_VERB"
 E_NOT_FOUND = "NOT_FOUND"
 E_EXISTS = "EXISTS"
 E_BUSY = "BUSY"
+E_DRAINING = "DRAINING"
+E_UNAVAILABLE = "UNAVAILABLE"
 E_DEADLINE = "DEADLINE"
 E_FAULT = "FAULT"
 E_INTERNAL = "INTERNAL"
@@ -78,6 +82,8 @@ ERROR_CODES = (
     E_NOT_FOUND,
     E_EXISTS,
     E_BUSY,
+    E_DRAINING,
+    E_UNAVAILABLE,
     E_DEADLINE,
     E_FAULT,
     E_INTERNAL,

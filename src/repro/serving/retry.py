@@ -1,0 +1,80 @@
+"""Deterministic client-side retry policy: capped exponential backoff, seeded jitter.
+
+A cloud of retrying clients must neither hammer a recovering worker (hence
+exponential backoff with a cap) nor retry in lock-step (hence jitter) — but a
+*test* of the recovery path must be reproducible, so the jitter is not
+``random.random()``: it is a keyed blake2b hash of ``(seed, attempt)``, the
+same determinism pattern as :class:`repro.mapreduce.FaultPlan`.  Two clients
+with different seeds spread out; the same seed replays the same schedule.
+
+Which failures are worth retrying is the client's decision (see
+:data:`RETRYABLE_CODES` and :data:`IDEMPOTENT_VERBS`); this module only owns
+the *when*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from hashlib import blake2b
+
+__all__ = ["RETRYABLE_CODES", "IDEMPOTENT_VERBS", "RetryPolicy"]
+
+RETRYABLE_CODES = ("BUSY", "DRAINING", "UNAVAILABLE")
+"""Structured error codes that mean "not executed — try again later".
+
+All three are issued *before* any server-side state changes, so retrying is
+safe for every verb, idempotent or not.
+"""
+
+IDEMPOTENT_VERBS = ("ping", "health", "query", "stats", "collections", "algorithms", "drain")
+"""Verbs safe to resend after a *transport* failure (connection reset, EOF,
+truncated frame), where the client cannot know whether the server executed the
+request.  ``ingest`` joins this set when the request carries a ``seq`` number
+(the server dedupes replays); ``register``/``load`` never do — a lost response
+leaves them ambiguous, and the caller must reconcile via ``collections``.
+"""
+
+
+def _seeded_unit(seed: int, attempt: int) -> float:
+    """Uniform [0, 1) draw keyed by (seed, attempt) — order- and time-free."""
+    digest = blake2b(f"{seed}:{attempt}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic, seeded jitter.
+
+    ``delay(attempt)`` is the sleep before retry number ``attempt`` (0-based):
+    ``base_delay * multiplier**attempt`` capped at ``max_delay``, then spread
+    over ``[1 - jitter/2, 1 + jitter/2]`` of itself by the seeded draw.
+    ``max_attempts`` bounds the *total* number of tries, the first one
+    included — ``max_attempts=1`` disables retries while keeping reconnects.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt numbers are non-negative")
+        backoff = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter == 0.0 or backoff == 0.0:
+            return backoff
+        spread = self.jitter * (_seeded_unit(self.seed, attempt) - 0.5)
+        return backoff * (1.0 + spread)

@@ -26,10 +26,13 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
+import pickle
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from ..datagen.synthetic import SyntheticConfig, generate_uniform_collection
@@ -52,6 +55,7 @@ from .protocol import (
     E_BAD_REQUEST,
     E_BUSY,
     E_DEADLINE,
+    E_DRAINING,
     E_EXISTS,
     E_FAULT,
     E_INTERNAL,
@@ -71,6 +75,9 @@ from .protocol import (
 from .session import AdmissionController, ServerMetrics
 
 __all__ = ["QueryServer", "BackgroundServer"]
+
+SERVER_CHECKPOINT_KIND = "query-server"
+SERVER_CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -107,6 +114,7 @@ class QueryServer:
     #: (tests/test_serving.py diffs the document against this tuple).
     VERBS = (
         "ping",
+        "health",
         "register",
         "load",
         "ingest",
@@ -114,6 +122,7 @@ class QueryServer:
         "stats",
         "collections",
         "algorithms",
+        "drain",
         "shutdown",
     )
 
@@ -125,23 +134,34 @@ class QueryServer:
         max_inflight: int = 4,
         max_queue: int = 16,
         default_deadline_ms: int | None = None,
+        worker_id: int | None = None,
+        checkpoint_path: str | Path | None = None,
+        drain_timeout: float = 30.0,
     ) -> None:
         self.context = context if context is not None else ExecutionContext()
         self.host = host
         self.port = port
         self.default_deadline_ms = default_deadline_ms
+        self.worker_id = worker_id
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.drain_timeout = drain_timeout
         self.admission = AdmissionController(max_inflight, max_queue)
         self.metrics = ServerMetrics()
         self.collections: dict[str, IntervalCollection] = {}
+        self.draining = False
         self.shutdown_requested = asyncio.Event()
         self.started_at = time.monotonic()
         self._server: asyncio.base_events.Server | None = None
+        self._drain_task: asyncio.Task | None = None
+        self._inflight_tokens: set[CancelToken] = set()
+        self._ingest_seqs: dict[str, dict[int, dict[str, Any]]] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=max_inflight, thread_name_prefix="repro-serve"
         )
         self._session_ids = itertools.count(1)
         self._handlers: dict[str, Callable[..., Any]] = {
             "ping": self._handle_ping,
+            "health": self._handle_health,
             "register": self._handle_register,
             "load": self._handle_load,
             "ingest": self._handle_ingest,
@@ -149,6 +169,7 @@ class QueryServer:
             "stats": self._handle_stats,
             "collections": self._handle_collections,
             "algorithms": self._handle_algorithms,
+            "drain": self._handle_drain,
             "shutdown": self._handle_shutdown,
         }
         assert tuple(self._handlers) == self.VERBS
@@ -186,6 +207,12 @@ class QueryServer:
             except asyncio.TimeoutError:
                 pass
             self._server = None
+        if self._drain_task is not None and not self._drain_task.done():
+            self._drain_task.cancel()
+        # A straggler past the drain timeout must not wedge process exit: the
+        # engine observes its cancelled token at the next task-wave boundary.
+        for token in tuple(self._inflight_tokens):
+            token.cancel("server stopping")
         self._executor.shutdown(wait=True, cancel_futures=True)
         self.shutdown_requested.set()
 
@@ -196,6 +223,106 @@ class QueryServer:
             await self.shutdown_requested.wait()
         finally:
             await self.stop()
+
+    # ------------------------------------------------------- checkpoint / drain
+    def checkpoint(self, path: str | Path | None = None) -> dict[str, Any]:
+        """Snapshot the server's durable state (and optionally persist it).
+
+        Wraps :meth:`ExecutionContext.checkpoint` (statistics cache + stream
+        states) with the server's own registry: the collections (including
+        staged-but-uncommitted streaming batches) and the ingest
+        sequence-number table, so a respawned worker dedupes retried ingests
+        from before the crash.  Persisted with the same atomic
+        write-then-rename as the context checkpoint.
+        """
+        snapshot: dict[str, Any] = {
+            "kind": SERVER_CHECKPOINT_KIND,
+            "version": SERVER_CHECKPOINT_VERSION,
+            "context": self.context.checkpoint(),
+            "collections": self.collections,
+            "ingest_seqs": self._ingest_seqs,
+        }
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            staging = path.with_name(path.name + ".tmp")
+            with open(staging, "wb") as handle:
+                pickle.dump(snapshot, handle)
+            os.replace(staging, path)
+        return snapshot
+
+    def restore_state(self, source: "Mapping[str, Any] | str | Path") -> "QueryServer":
+        """Restore a :meth:`checkpoint` (a snapshot dict or a pickle path).
+
+        Returns ``self`` for chaining; raises :class:`ValueError` on anything
+        that is not a readable server checkpoint — a worker booting from a
+        corrupt file starts cold instead of crash-looping.
+        """
+        if isinstance(source, (str, Path)):
+            try:
+                with open(source, "rb") as handle:
+                    snapshot = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as error:
+                raise ValueError(
+                    f"cannot read server checkpoint {str(source)!r}: {error}"
+                ) from error
+        else:
+            snapshot = source
+        if not isinstance(snapshot, Mapping) or snapshot.get("kind") != SERVER_CHECKPOINT_KIND:
+            raise ValueError("not a query-server checkpoint")
+        if snapshot.get("version") != SERVER_CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported server checkpoint version {snapshot.get('version')!r}"
+            )
+        self.context.restore(snapshot["context"])
+        self.collections = dict(snapshot["collections"])
+        self._ingest_seqs = {
+            name: dict(table) for name, table in dict(snapshot["ingest_seqs"]).items()
+        }
+        return self
+
+    def _maybe_checkpoint(self) -> None:
+        """Persist durable state after a mutation, when a checkpoint path is set."""
+        if self.checkpoint_path is not None:
+            self.checkpoint(self.checkpoint_path)
+
+    def begin_drain(self, timeout: float | None = None) -> None:
+        """Flip to DRAINING: reject new work, finish inflight, checkpoint, exit.
+
+        Idempotent; must be called on the event loop (the ``drain`` verb and
+        the worker's SIGTERM handler both are).  Inflight queries get up to
+        ``timeout`` seconds (default :attr:`drain_timeout`) to finish; past
+        that their cancel tokens fire and the engine stops them at the next
+        task-wave boundary.  Once quiescent the server checkpoints its state
+        and requests shutdown.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        budget = self.drain_timeout if timeout is None else timeout
+        self._drain_task = asyncio.get_running_loop().create_task(self._drain(budget))
+
+    async def _drain(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while self.admission.inflight > 0 or self.admission.waiting > 0:
+            if time.monotonic() >= deadline:
+                for token in tuple(self._inflight_tokens):
+                    token.cancel(f"drain timeout of {timeout} s exceeded")
+                break
+            await asyncio.sleep(0.01)
+        # Give cancelled stragglers a moment to unwind before checkpointing.
+        while self.admission.inflight > 0 and time.monotonic() < deadline + 5.0:
+            await asyncio.sleep(0.01)
+        self._maybe_checkpoint()
+        self.shutdown_requested.set()
+
+    def _reject_if_draining(self) -> None:
+        if self.draining:
+            raise ProtocolError(
+                E_DRAINING,
+                "server is draining; retry against a fresh worker",
+                {"worker": self.worker_id, "inflight": self.admission.inflight},
+            )
 
     # ------------------------------------------------------------ connections
     async def _serve_connection(
@@ -223,6 +350,11 @@ class QueryServer:
                 writer.write(encode_message(response))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop shutdown cancels handlers blocked in readline; completing
+            # normally keeps asyncio's stream callback from logging the
+            # cancellation as an unhandled error.
             pass
         finally:
             # A connection can outlive the event loop when BackgroundServer
@@ -275,7 +407,35 @@ class QueryServer:
             "session": session_id,
         }
 
+    async def _handle_health(self, request: Mapping[str, Any], session_id: int) -> dict:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "worker": self.worker_id,
+            "inflight": self.admission.inflight,
+            "waiting": self.admission.waiting,
+            "collections": len(self.collections),
+            "uptime_seconds": time.monotonic() - self.started_at,
+        }
+
+    async def _handle_drain(self, request: Mapping[str, Any], session_id: int) -> dict:
+        timeout_ms = request.get("timeout_ms")
+        if timeout_ms is not None and (
+            not isinstance(timeout_ms, int) or isinstance(timeout_ms, bool) or timeout_ms <= 0
+        ):
+            raise ProtocolError(
+                E_BAD_REQUEST, "field 'timeout_ms' must be a positive integer"
+            )
+        self.begin_drain(None if timeout_ms is None else timeout_ms / 1000.0)
+        return {
+            "draining": True,
+            "worker": self.worker_id,
+            "inflight": self.admission.inflight,
+            "waiting": self.admission.waiting,
+        }
+
     async def _handle_register(self, request: Mapping[str, Any], session_id: int) -> dict:
+        self._reject_if_draining()
         name = _require(request, "name", str, "a string")
         if name in self.collections:
             raise ProtocolError(
@@ -291,9 +451,11 @@ class QueryServer:
         except ValueError as error:
             raise ProtocolError(E_BAD_REQUEST, str(error)) from error
         self.collections[name] = collection
+        self._maybe_checkpoint()
         return {"name": name, "size": len(collection), "streaming": streaming}
 
     async def _handle_load(self, request: Mapping[str, Any], session_id: int) -> dict:
+        self._reject_if_draining()
         names = request.get("names")
         if (
             not isinstance(names, list)
@@ -328,6 +490,7 @@ class QueryServer:
         loop = asyncio.get_running_loop()
         generated = await loop.run_in_executor(self._executor, generate)
         self.collections.update(generated)
+        self._maybe_checkpoint()
         return {
             "collections": [
                 {"name": name, "size": len(collection), "streaming": streaming}
@@ -336,6 +499,7 @@ class QueryServer:
         }
 
     async def _handle_ingest(self, request: Mapping[str, Any], session_id: int) -> dict:
+        self._reject_if_draining()
         name = _require(request, "name", str, "a string")
         collection = self.collections.get(name)
         if collection is None:
@@ -344,18 +508,33 @@ class QueryServer:
             raise ProtocolError(
                 E_BAD_REQUEST, f"collection {name!r} is not streaming", {"name": name}
             )
+        seq = request.get("seq")
+        if seq is not None and (not isinstance(seq, int) or isinstance(seq, bool)):
+            raise ProtocolError(E_BAD_REQUEST, "field 'seq' must be an integer")
+        if seq is not None:
+            # Exactly-once ingestion across client retries: a replayed sequence
+            # number stages nothing and gets back the original response.
+            recorded = self._ingest_seqs.get(name, {}).get(seq)
+            if recorded is not None:
+                return {**recorded, "deduped": True}
         intervals = decode_intervals(request.get("intervals"))
         try:
             staged = collection.ingest(intervals)
         except ValueError as error:
             raise ProtocolError(E_BAD_REQUEST, str(error)) from error
-        return {
+        payload = {
             "name": name,
             "staged": staged,
             "pending_batches": collection.pending_batches,
+            "seq": seq,
         }
+        if seq is not None:
+            self._ingest_seqs.setdefault(name, {})[seq] = dict(payload)
+        self._maybe_checkpoint()
+        return {**payload, "deduped": False}
 
     async def _handle_query(self, request: Mapping[str, Any], session_id: int) -> dict:
+        self._reject_if_draining()
         call = self._parse_query(request, session_id)
         if not self.admission.try_enter():
             raise ProtocolError(
@@ -365,6 +544,7 @@ class QueryServer:
             )
         loop = asyncio.get_running_loop()
         token = CancelToken()
+        self._inflight_tokens.add(token)
         deadline_handle: asyncio.TimerHandle | None = None
         if call.deadline_ms is not None:
             deadline_handle = loop.call_later(
@@ -398,12 +578,16 @@ class QueryServer:
             raise ProtocolError(E_BAD_REQUEST, str(error)) from error
         finally:
             self.admission.release()
+            self._inflight_tokens.discard(token)
             if deadline_handle is not None:
                 deadline_handle.cancel()
         metrics = deterministic_metrics(report)
         self.metrics.record_query_success(
             metrics, report.statistics_cached, queue_seconds, plan_seconds, execute_seconds
         )
+        # Queries warm the statistics cache and advance streaming state; a
+        # supervised worker persists both so a respawn comes back warm.
+        self._maybe_checkpoint()
         return {
             "algorithm": report.algorithm,
             "query": call.query_name,
@@ -425,6 +609,8 @@ class QueryServer:
             {
                 "protocol": PROTOCOL_VERSION,
                 "uptime_seconds": time.monotonic() - self.started_at,
+                "worker": self.worker_id,
+                "draining": self.draining,
                 "admission": self.admission.describe(),
                 "statistics_cache": {
                     "hits": cache.hits,
@@ -633,6 +819,16 @@ class BackgroundServer:
         finally:
             loop.close()
             asyncio.set_event_loop(None)
+
+    def run_coroutine(self, coro: Any) -> Any:
+        """Run a coroutine on the server's loop and block for its result.
+
+        Lets tests and tools drive loop-bound APIs (e.g.
+        :meth:`ServerSupervisor.rolling_restart`) from the calling thread.
+        """
+        if self._loop is None or not self._loop.is_running():
+            raise RuntimeError("background server loop is not running")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
 
     def stop(self) -> None:
         """Request shutdown and join the loop thread (idempotent)."""

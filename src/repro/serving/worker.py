@@ -1,0 +1,144 @@
+"""Worker entry point: one supervised :class:`QueryServer` child process.
+
+``python -m repro.serving.worker`` is what :class:`ServerSupervisor` spawns —
+a module (not an inline ``-c`` script) so operators and the CI orphan check
+can find workers by name in a process listing.  The worker:
+
+* binds its own socket (``--port 0`` by default; the bound address is
+  published atomically to ``--port-file`` so the supervisor never races the
+  bind);
+* restores :class:`QueryServer` state from ``--checkpoint`` when the file
+  exists and is readable — a respawned worker comes back warm, with its
+  collections, statistics cache, streaming state and ingest dedup table; a
+  corrupt checkpoint starts the worker cold instead of crash-looping;
+* drains on SIGTERM: new work is rejected with the DRAINING code, inflight
+  queries get ``--drain-timeout`` seconds to finish, state is checkpointed
+  atomically, then the process exits 0;
+* watches its parent: if the supervisor dies without SIGTERMing its workers
+  (SIGKILL, OOM), the worker is re-parented and drains itself rather than
+  lingering as an orphan serving a frontend that no longer exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import sys
+from pathlib import Path
+
+from .server import QueryServer
+
+__all__ = ["main", "run_worker"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.serving.worker",
+        description="One supervised query-server worker process.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 binds an ephemeral port")
+    parser.add_argument("--worker-id", type=int, default=0)
+    parser.add_argument("--checkpoint", default=None, help="server checkpoint file")
+    parser.add_argument(
+        "--port-file", default=None, help="publish the bound 'host port' here"
+    )
+    parser.add_argument("--max-inflight", type=int, default=4)
+    parser.add_argument("--max-queue", type=int, default=16)
+    parser.add_argument("--drain-timeout", type=float, default=30.0)
+    parser.add_argument("--default-deadline-ms", type=int, default=None)
+    parser.add_argument(
+        "--parent-pid",
+        type=int,
+        default=None,
+        help="drain when this process is no longer the parent (orphan watchdog)",
+    )
+    return parser
+
+
+def _publish_address(port_file: str, host: str, port: int) -> None:
+    """Atomically write the bound address (the supervisor polls for this file)."""
+    path = Path(port_file)
+    staging = path.with_name(path.name + ".tmp")
+    staging.write_text(f"{host} {port}\n", encoding="utf-8")
+    os.replace(staging, path)
+
+
+async def _watch_parent(
+    server: QueryServer, parent: int | None, interval: float = 1.0
+) -> None:
+    """Drain when the parent process dies (the worker gets re-parented).
+
+    The supervisor passes its own pid explicitly: a worker whose parent died
+    before this first runs is already re-parented, and comparing against a
+    pid recorded *now* would miss that.
+    """
+    if parent is None:
+        parent = os.getppid()
+    while True:
+        if os.getppid() != parent:
+            print(
+                f"worker {server.worker_id}: supervisor died; draining",
+                file=sys.stderr,
+            )
+            server.begin_drain()
+            return
+        await asyncio.sleep(interval)
+
+
+async def run_worker(args: argparse.Namespace) -> int:
+    server = QueryServer(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.default_deadline_ms,
+        worker_id=args.worker_id,
+        checkpoint_path=args.checkpoint,
+        drain_timeout=args.drain_timeout,
+    )
+    if args.checkpoint and Path(args.checkpoint).exists():
+        try:
+            server.restore_state(args.checkpoint)
+            print(
+                f"worker {args.worker_id}: restored checkpoint "
+                f"({len(server.collections)} collections)",
+                file=sys.stderr,
+            )
+        except ValueError as error:
+            print(
+                f"worker {args.worker_id}: starting cold ({error})",
+                file=sys.stderr,
+            )
+    loop = asyncio.get_running_loop()
+    loop.add_signal_handler(signal.SIGTERM, server.begin_drain)
+    try:
+        host, port = await server.start()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.port_file:
+        _publish_address(args.port_file, host, port)
+    watchdog = asyncio.create_task(_watch_parent(server, args.parent_pid))
+    try:
+        await server.shutdown_requested.wait()
+    finally:
+        watchdog.cancel()
+        await asyncio.gather(watchdog, return_exceptions=True)
+        await server.stop()
+        server.context.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return asyncio.run(run_worker(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -270,6 +270,35 @@ class TestServeDispatch:
         assert code == 1
         assert "cannot read fault plan" in capsys.readouterr().err
 
+    def test_serve_rejects_nonpositive_drain_timeout(self, capsys):
+        code = main(["serve", "--drain-timeout", "0"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "--drain-timeout" in err
+        assert "Traceback" not in err
+
+    def test_serve_rejects_engine_flags_with_multiple_workers(self, capsys):
+        code = main(["serve", "--workers", "2", "--backend", "thread"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "--backend" in err
+        assert "--workers" in err
+        assert "Traceback" not in err
+
+    def test_serve_reports_bind_failure_cleanly(self, capsys):
+        import socket
+
+        with socket.socket() as holder:
+            holder.bind(("127.0.0.1", 0))
+            holder.listen(1)
+            port = holder.getsockname()[1]
+            code = main(["serve", "--port", str(port)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
     def test_load_rejects_empty_names(self, capsys):
         code = main(["load", "--names", ","])
         assert code == 1

@@ -2,6 +2,7 @@
 
 import json
 import re
+import socket
 import threading
 import time
 from pathlib import Path
@@ -29,11 +30,13 @@ from repro.serving import (
     ProtocolError,
     QueryClient,
     QueryServer,
+    RetryPolicy,
     ServingError,
     decode_results,
     deterministic_metrics,
 )
 from repro.serving.protocol import (
+    MAX_LINE_BYTES,
     decode_intervals,
     decode_message,
     encode_intervals,
@@ -554,3 +557,360 @@ class TestDocumentationCoverage:
         from repro.serving.cli import main
 
         assert callable(main)
+
+
+# ----------------------------------------------------------- retry / robustness
+class TestRetryPolicy:
+    def test_delays_are_deterministic_per_seed(self):
+        policy = RetryPolicy(seed=11)
+        again = RetryPolicy(seed=11)
+        other = RetryPolicy(seed=12)
+        schedule = [policy.delay(a) for a in range(6)]
+        assert schedule == [again.delay(a) for a in range(6)]
+        assert schedule != [other.delay(a) for a in range(6)]
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=1.0, jitter=0.0)
+        assert [policy.delay(a) for a in range(5)] == [0.1, 0.2, 0.4, 0.8, 1.0]
+        assert policy.delay(50) == 1.0
+
+    def test_jitter_stays_within_the_spread(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=1.0, jitter=0.5, seed=3)
+        for attempt in range(20):
+            assert 0.075 <= policy.delay(attempt) <= 0.125
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"max_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_parameters_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(-1)
+
+
+class ScriptedServer:
+    """A raw TCP server playing one scripted behaviour per accepted connection."""
+
+    def __init__(self, *behaviors):
+        self.behaviors = list(behaviors)
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen()
+        self.address = self._sock.getsockname()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        for behavior in self.behaviors:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                behavior(conn)
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5)
+
+
+def _read_request(conn):
+    reader = conn.makefile("rb")
+    return reader.readline()
+
+
+def _close_after_read(conn):
+    _read_request(conn)
+
+
+def _ok_after_read(payload):
+    def behavior(conn):
+        request = json.loads(_read_request(conn))
+        conn.sendall(encode_message({"id": request["id"], "ok": True, **payload}))
+
+    return behavior
+
+
+NO_SLEEP = RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)
+
+
+class TestClientRobustness:
+    def test_truncated_frame_raises_instead_of_decoding(self):
+        # A syntactically complete JSON object with no trailing newline: the
+        # old client decoded it silently; truncation must now surface.
+        def truncate(conn):
+            _read_request(conn)
+            conn.sendall(b'{"id":1,"ok":true,"protocol":1}')
+
+        with ScriptedServer(truncate) as server:
+            client = QueryClient(*server.address, timeout=5)
+            with pytest.raises(ConnectionError, match="truncated"):
+                client.ping()
+            client.close()
+
+    def test_line_of_exactly_max_line_bytes_is_truncation(self):
+        # readline(MAX_LINE_BYTES) returns a full buffer with no terminator —
+        # indistinguishable from a cut frame, and refused the same way.
+        def oversize(conn):
+            _read_request(conn)
+            conn.sendall(b"x" * MAX_LINE_BYTES)
+
+        with ScriptedServer(oversize) as server:
+            client = QueryClient(*server.address, timeout=30)
+            with pytest.raises(ConnectionError, match="truncated"):
+                client.ping()
+            client.close()
+
+    def test_idempotent_verb_retries_through_reconnect(self):
+        with ScriptedServer(
+            _close_after_read, _ok_after_read({"protocol": 1, "server": "x", "session": 1})
+        ) as server:
+            client = QueryClient(*server.address, retry=NO_SLEEP, sleep=lambda _: None)
+            response = client.ping()
+            assert response["protocol"] == 1
+            assert client.retries == 1
+            assert client.reconnects == 1
+            assert server.connections == 2
+            client.close()
+
+    def test_non_idempotent_verb_is_not_retried_on_transport_failure(self):
+        with ScriptedServer(
+            _close_after_read, _ok_after_read({"name": "R", "size": 0, "streaming": False})
+        ) as server:
+            client = QueryClient(*server.address, retry=NO_SLEEP, sleep=lambda _: None)
+            with pytest.raises(ConnectionError):
+                client.register("R", [])
+            assert client.retries == 0
+            assert server.connections == 1
+            client.close()
+
+    def test_ingest_with_seq_is_transport_retryable(self):
+        payload = {"name": "S", "staged": 1, "pending_batches": 1, "seq": 7, "deduped": False}
+        with ScriptedServer(_close_after_read, _ok_after_read(payload)) as server:
+            client = QueryClient(*server.address, retry=NO_SLEEP, sleep=lambda _: None)
+            response = client.ingest("S", [[1, 0.0, 1.0]], seq=7)
+            assert response["staged"] == 1
+            assert client.retries == 1
+            client.close()
+
+    def test_ingest_without_seq_is_not_transport_retryable(self):
+        with ScriptedServer(_close_after_read) as server:
+            client = QueryClient(*server.address, retry=NO_SLEEP, sleep=lambda _: None)
+            with pytest.raises(ConnectionError):
+                client.ingest("S", [[1, 0.0, 1.0]])
+            assert client.retries == 0
+            client.close()
+
+    def test_retryable_codes_retry_every_verb(self):
+        # DRAINING is issued before any state changes, so even register —
+        # never transport-retryable — retries through it on one connection.
+        def draining_then_ok(conn):
+            reader = conn.makefile("rb")
+            request = json.loads(reader.readline())
+            conn.sendall(
+                encode_message(
+                    {
+                        "id": request["id"],
+                        "ok": False,
+                        "error": {"code": "DRAINING", "message": "draining"},
+                    }
+                )
+            )
+            request = json.loads(reader.readline())
+            conn.sendall(
+                encode_message(
+                    {"id": request["id"], "ok": True, "name": "R", "size": 0, "streaming": False}
+                )
+            )
+
+        with ScriptedServer(draining_then_ok) as server:
+            client = QueryClient(*server.address, retry=NO_SLEEP, sleep=lambda _: None)
+            response = client.register("R", [])
+            assert response["name"] == "R"
+            assert client.retries == 1
+            assert server.connections == 1
+            client.close()
+
+    def test_retry_budget_exhausts_with_the_last_error(self):
+        def always_draining(conn):
+            reader = conn.makefile("rb")
+            while True:
+                line = reader.readline()
+                if not line:
+                    return
+                request = json.loads(line)
+                conn.sendall(
+                    encode_message(
+                        {
+                            "id": request["id"],
+                            "ok": False,
+                            "error": {"code": "DRAINING", "message": "still draining"},
+                        }
+                    )
+                )
+
+        with ScriptedServer(always_draining) as server:
+            client = QueryClient(
+                *server.address,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+                sleep=lambda _: None,
+            )
+            with pytest.raises(ServingError) as excinfo:
+                client.stats()
+            assert excinfo.value.code == "DRAINING"
+            assert client.retries == 2
+            client.close()
+
+    def test_affinity_is_stamped_on_every_request(self):
+        seen = {}
+
+        def record(conn):
+            request = json.loads(_read_request(conn))
+            seen.update(request)
+            conn.sendall(
+                encode_message({"id": request["id"], "ok": True, "protocol": 1, "session": 1})
+            )
+
+        with ScriptedServer(record) as server:
+            client = QueryClient(*server.address, affinity="sticky")
+            client.ping()
+            client.close()
+        assert seen["affinity"] == "sticky"
+
+
+# ----------------------------------------------------- drain / checkpoint (wire)
+class TestDrainAndCheckpoint:
+    def test_drain_rejects_new_work_then_checkpoints_and_exits(
+        self, tmp_path, blocking_algorithm
+    ):
+        checkpoint = tmp_path / "server.ckpt"
+        server = QueryServer(checkpoint_path=checkpoint, drain_timeout=20)
+        background = BackgroundServer(server)
+        host, port = background.start()
+        try:
+            with QueryClient(host, port) as setup:
+                setup.load(["A", "B", "C"], size=30, seed=3)
+
+            def hold_slot():
+                with QueryClient(host, port) as holder:
+                    holder.query(
+                        "Qo,m", ["A", "B", "C"], k=5, algorithm=blocking_algorithm.name
+                    )
+
+            thread = threading.Thread(target=hold_slot)
+            thread.start()
+            assert blocking_algorithm.started.wait(timeout=10)
+
+            with QueryClient(host, port) as client:
+                ack = client.drain()
+                assert ack["draining"] is True
+                assert client.health()["status"] == "draining"
+                # Admission now rejects mutations and queries, before any state
+                # changes; reads still work.
+                for attempt in (
+                    lambda: client.register("Z", []),
+                    lambda: client.load(["Z"], size=10),
+                    lambda: client.ingest("A", [[999, 0.0, 1.0]]),
+                    lambda: client.query("Qo,m", ["A", "B", "C"], k=5),
+                ):
+                    with pytest.raises(ServingError) as excinfo:
+                        attempt()
+                    assert excinfo.value.code == "DRAINING"
+                assert client.stats()["draining"] is True
+                # Drain is idempotent.
+                assert client.drain()["draining"] is True
+
+            # The inflight query finishes; the server then checkpoints and exits.
+            blocking_algorithm.release.set()
+            thread.join(timeout=10)
+            assert server.shutdown_requested.wait is not None
+        finally:
+            background.stop()
+        assert checkpoint.exists()
+        assert not checkpoint.with_name(checkpoint.name + ".tmp").exists()
+
+        restored = QueryServer().restore_state(checkpoint)
+        assert sorted(restored.collections) == ["A", "B", "C"]
+
+    def test_drain_timeout_cancels_stragglers(self):
+        server = QueryServer(drain_timeout=30)
+        with BackgroundServer(server) as (host, port):
+            with QueryClient(host, port) as setup:
+                setup.load(["A", "B", "C"], size=1200, seed=11)
+
+            failures = {}
+
+            def slow_query():
+                with QueryClient(host, port) as runner:
+                    try:
+                        runner.query("Qo,m", ["A", "B", "C"], k=10)
+                    except ServingError as error:
+                        failures["error"] = error
+
+            thread = threading.Thread(target=slow_query)
+            thread.start()
+            time.sleep(0.05)  # let the query reach the engine
+            with QueryClient(host, port) as client:
+                client.drain(timeout_ms=1)
+            thread.join(timeout=20)
+
+        error = failures.get("error")
+        assert error is not None and error.code == "DEADLINE"
+        assert "drain timeout" in error.message
+
+    def test_ingest_seq_is_exactly_once_and_survives_restore(self):
+        server = QueryServer()
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            client.register("S", [], streaming=True)
+            first = client.ingest("S", [[1, 0.0, 1.0], [2, 1.0, 2.0]], seq=1)
+            assert first["deduped"] is False and first["staged"] == 2
+            replay = client.ingest("S", [[1, 0.0, 1.0], [2, 1.0, 2.0]], seq=1)
+            assert replay["deduped"] is True
+            assert replay["staged"] == 2 and replay["pending_batches"] == first["pending_batches"]
+            fresh = client.ingest("S", [[3, 2.0, 3.0]], seq=2)
+            assert fresh["deduped"] is False
+            listed = client.collections()["collections"][0]
+            assert listed["pending_batches"] == 2  # the replay staged nothing
+            snapshot = server.checkpoint()
+
+        restored = QueryServer().restore_state(snapshot)
+        with BackgroundServer(restored) as (host, port), QueryClient(host, port) as client:
+            again = client.ingest("S", [[1, 0.0, 1.0], [2, 1.0, 2.0]], seq=1)
+            assert again["deduped"] is True
+            listed = client.collections()["collections"][0]
+            assert listed["pending_batches"] == 2
+
+    def test_restore_rejects_corrupt_and_foreign_checkpoints(self, tmp_path):
+        junk = tmp_path / "junk.ckpt"
+        junk.write_bytes(b"not a pickle")
+        with pytest.raises(ValueError, match="cannot read"):
+            QueryServer().restore_state(junk)
+        with pytest.raises(ValueError, match="not a query-server checkpoint"):
+            QueryServer().restore_state({"kind": "something-else"})
+        with pytest.raises(ValueError, match="version"):
+            QueryServer().restore_state({"kind": "query-server", "version": 99})
