@@ -1,0 +1,88 @@
+"""Planner feedback loop — plan-cache hit latency versus a cold probed plan.
+
+The feedback tentpole's measurable promise: a warm repeat of the same auto
+query must skip the planner's statistics probe entirely, returning the
+memoized plan in a small fraction of the cold planning time.  The benchmark
+times both paths over the same query and context — cold rounds clear the plan
+cache and lazily invalidate the statistics cache (``bump_generation``), warm
+rounds replay the exact (query, dataset state) pair — and gates on the warm
+path being at least ``MIN_SPEEDUP``× faster.  ``extra_info`` carries
+``plan_cold_seconds`` / ``plan_warm_seconds`` (ratio-watched) and
+``plan_cache_speedup`` (bigger-is-better) for the regression gate.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.datagen import SyntheticConfig, generate_collections
+from repro.experiments import build_query
+from repro.mapreduce import ClusterConfig
+from repro.plan import (
+    CostStore,
+    ExecutionContext,
+    PlanCache,
+    PlanFeedback,
+    get_algorithm,
+)
+
+SIZE = 6_000
+QUERY = "Qo,m"
+K = 20
+ROUNDS = 5
+MIN_SPEEDUP = 3.0
+
+
+def run_matrix():
+    """Median cold (probed) and warm (memoized) auto-plan latencies."""
+    config = SyntheticConfig(size=SIZE, start_max=20_000.0)
+    collections = list(generate_collections(3, config, seed=17).values())
+    context = ExecutionContext(
+        cluster=ClusterConfig(num_reducers=8, num_mappers=4, backend="serial")
+    )
+    feedback = PlanFeedback(plan_cache=PlanCache(max_entries=16), cost_store=CostStore())
+    context.feedback = feedback
+    query = build_query(QUERY, collections, "P1", k=K)
+    algorithm = get_algorithm("tkij")
+
+    cold, warm = [], []
+    with context:
+        for _ in range(ROUNDS):
+            feedback.plan_cache.clear()
+            context.statistics.bump_generation()  # next probe recollects
+            started = time.perf_counter()
+            algorithm.plan(query, context, mode="auto")
+            cold.append(time.perf_counter() - started)
+
+            started = time.perf_counter()
+            plan = algorithm.plan(query, context, mode="auto")
+            warm.append(time.perf_counter() - started)
+            assert any("plan cache" in reason for reason in plan.explanation.reasons)
+
+    summary = feedback.plan_cache.describe()
+    assert summary["hits"] == ROUNDS
+    assert summary["misses"] == ROUNDS
+    return statistics.median(cold), statistics.median(warm)
+
+
+def bench_planner_feedback(benchmark):
+    cold_seconds, warm_seconds = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    # The gate: a memoized plan must skip the probe, not merely shave it.
+    assert speedup >= MIN_SPEEDUP, (
+        f"plan-cache hit only {speedup:.1f}x faster than a cold plan "
+        f"(cold={cold_seconds:.6f}s warm={warm_seconds:.6f}s); expected >= {MIN_SPEEDUP}x"
+    )
+
+    benchmark.extra_info.update(
+        workload="planner_feedback",
+        backend="serial",
+        size=SIZE,
+        query=QUERY,
+        k=K,
+        plan_cold_seconds=cold_seconds,
+        plan_warm_seconds=warm_seconds,
+        plan_cache_speedup=speedup,
+    )

@@ -44,6 +44,8 @@ MEASUREMENT_KEYS = (
     "chaos_truncates",
     "lost_responses",
     "incorrect_responses",
+    "plan_cold_seconds",
+    "plan_warm_seconds",
 )
 """``extra_info`` keys that carry measured quantities, not configuration.
 
@@ -52,10 +54,11 @@ against the baseline like the mean time (bench_shuffle.py records the memory
 keys, bench_serving.py the latency/rejection ones, bench_chaos.py the
 recovery-latency/respawn/injury counts — its hard zeroes, lost and incorrect
 responses, are asserted inside the benchmark itself and recorded here so a
-baseline of 0 stays visible).
+baseline of 0 stays visible — and bench_planner_feedback.py the cold/warm
+auto-plan latencies).
 """
 
-INVERSE_MEASUREMENT_KEYS = ("qps", "statistics_cache_hits")
+INVERSE_MEASUREMENT_KEYS = ("qps", "statistics_cache_hits", "plan_cache_speedup")
 """Measured quantities where **bigger is better** (bench_serving.py).
 
 Compared in the opposite direction: the check fails when the current value

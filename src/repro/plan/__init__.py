@@ -12,7 +12,11 @@ This package is the dispatch substrate of the evaluation stack:
   queries (incrementally maintained on updates);
 * :class:`AutoPlanner` — cost-based choice of granularity, TopBuckets strategy
   and workload assigner from collected statistics, recorded as a
-  :class:`PlanExplanation`.
+  :class:`PlanExplanation`;
+* :class:`PlanFeedback` — the feedback loop around the planner: a
+  :class:`PlanCache` memoizing auto plans by (query, statistics) fingerprint
+  and a :class:`CostStore` of observed execution outcomes that calibrates the
+  planner's kernel choice once enough evidence accumulates.
 
 The composable phase operators themselves (StatisticsOp ... MergeOp) live in
 :mod:`repro.core.operators`; algorithms here assemble them.
@@ -27,7 +31,15 @@ from .algorithms import (
     TKIJAlgorithm,
     resolve_join_config,
 )
-from .context import ExecutionContext, StatisticsCache
+from .context import ExecutionContext, StatisticsCache, atomic_pickle_dump
+from .feedback import (
+    CostStore,
+    PlanCache,
+    PlanFeedback,
+    query_fingerprint,
+    statistics_fingerprint,
+    workload_fingerprint,
+)
 from .planner import AutoPlanner, PlanExplanation
 from .registry import REGISTRY, available_algorithms, get_algorithm, register
 from .sql_oracle import SQLOracleAlgorithm
@@ -45,8 +57,15 @@ __all__ = [
     "resolve_join_config",
     "ExecutionContext",
     "StatisticsCache",
+    "atomic_pickle_dump",
     "AutoPlanner",
     "PlanExplanation",
+    "CostStore",
+    "PlanCache",
+    "PlanFeedback",
+    "query_fingerprint",
+    "statistics_fingerprint",
+    "workload_fingerprint",
     "REGISTRY",
     "available_algorithms",
     "get_algorithm",

@@ -26,6 +26,7 @@ from ..query.graph import RTJQuery
 from ..solver import BranchAndBoundSolver
 from .algorithm import Algorithm, ExecutionPlan, RunReport
 from .context import ExecutionContext
+from .feedback import query_fingerprint, statistics_fingerprint, workload_fingerprint
 from .planner import AutoPlanner
 from .registry import register
 
@@ -91,7 +92,36 @@ class TKIJAlgorithm(Algorithm):
         explanation = None
         if mode == "auto":
             planner = planner or AutoPlanner()
-            chosen, explanation = planner.plan(query, context)
+            feedback = context.feedback
+            fingerprints: tuple[str, str] | None = None
+            cached_plan = None
+            if feedback is not None:
+                # The plan-cache key is (query fingerprint, statistics
+                # fingerprint) — exact planning problem over the exact dataset
+                # state; volatile explanation inputs (probe_seconds,
+                # probe_cached) never participate.
+                fingerprints = (
+                    query_fingerprint(query),
+                    statistics_fingerprint(collections_by_name(query)),
+                )
+                cached_plan = feedback.plan_cache.lookup(*fingerprints)
+            if cached_plan is not None:
+                # Hot path: the memoized plan is served without re-probing.
+                chosen, explanation = cached_plan
+                explanation.reasons.append(
+                    "plan reused from the plan cache (query and statistics "
+                    "fingerprints matched; probe skipped)"
+                )
+            else:
+                if (
+                    feedback is not None
+                    and feedback.cost_store is not None
+                    and planner.cost_store is None
+                ):
+                    planner = replace(planner, cost_store=feedback.cost_store)
+                chosen, explanation = planner.plan(query, context)
+                if fingerprints is not None:
+                    feedback.plan_cache.store(*fingerprints, chosen, explanation)
             knobs.update(chosen)
         if kernel is not None:
             # An explicit kernel always wins over the planner's pick.
@@ -156,6 +186,26 @@ class TKIJAlgorithm(Algorithm):
             cached = cached and plan.explanation.inputs.get("probe_cached", 1.0) >= 1.0
         result.phase_seconds["statistics"] = statistics_seconds
         result.plan_explanation = plan.explanation
+        feedback = context.feedback
+        if feedback is not None and feedback.cost_store is not None:
+            # Close the loop: the observed outcome of this (workload, knobs)
+            # pair feeds the planner's calibration on later plans.
+            knob_signature = {
+                "num_granules": knobs["num_granules"],
+                "strategy": knobs["strategy"],
+                "assigner": knobs["assigner"],
+                "kernel": resolve_join_config(knobs).kernel,
+            }
+            outcome = {
+                "elapsed_seconds": result.total_seconds,
+                "join_seconds": result.phase_seconds.get("join", 0.0),
+                **result.join_metrics.observed_costs(),
+            }
+            feedback.cost_store.record(
+                workload_fingerprint(plan.query, collections_by_name(plan.query)),
+                knob_signature,
+                outcome,
+            )
         return RunReport(
             algorithm=self.name,
             title=self.title,

@@ -12,13 +12,15 @@ collections change.
 from __future__ import annotations
 
 import copy
+import itertools
 import math
 import os
 import pickle
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from ..core.statistics import (
     DatasetStatistics,
@@ -28,7 +30,10 @@ from ..core.statistics import (
 from ..mapreduce import ClusterConfig, ExecutionBackend, create_cluster_backend
 from ..temporal.interval import Interval, IntervalCollection
 
-__all__ = ["ExecutionContext", "StatisticsCache", "StatisticsKey"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (feedback imports us)
+    from .feedback import PlanFeedback
+
+__all__ = ["ExecutionContext", "StatisticsCache", "StatisticsKey", "atomic_pickle_dump"]
 
 CHECKPOINT_KIND = "execution-context"
 CHECKPOINT_VERSION = 1
@@ -48,6 +53,32 @@ class _CacheEntry:
     sizes: dict[str, int]
     time_ranges: dict[str, tuple[float, float]]
     checksums: dict[str, float]
+    generation: int = 0
+
+
+_staging_ids = itertools.count()
+
+
+def atomic_pickle_dump(path: str | Path, payload: Any) -> None:
+    """Pickle ``payload`` to ``path`` via a unique staging sibling + rename.
+
+    The staging name carries the writer's pid and a process-local counter, so
+    concurrent checkpointers of the *same* path never interleave write/rename
+    on a shared staging file (each rename atomically publishes one complete
+    snapshot; last writer wins).  A crash mid-write leaves only a staging
+    sibling behind, never a torn ``path``; a failed write cleans its staging
+    file up before re-raising.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    staging = path.with_name(f"{path.name}.tmp.{os.getpid()}.{next(_staging_ids)}")
+    try:
+        with open(staging, "wb") as handle:
+            pickle.dump(payload, handle)
+        os.replace(staging, path)
+    except BaseException:
+        staging.unlink(missing_ok=True)
+        raise
 
 
 def _collection_checksum(collection: IntervalCollection) -> float:
@@ -82,6 +113,19 @@ class StatisticsCache:
     cancel exactly could slip through).  ``hits`` / ``misses`` / ``updates``
     counters let tests and reports assert that phase (a) really was skipped.
 
+    Boundedness: ``max_entries`` (``None`` = unbounded, the historical
+    behaviour) caps the cache with LRU eviction — a lookup hit or a fresh
+    collection marks the entry most-recently-used, and inserting past the
+    bound evicts the least-recently-used entry, counted in ``evictions``.
+    This is the multi-tenant churn guard: a serving worker cycling through
+    many datasets keeps only the hot ones resident.
+
+    Staleness generations: :meth:`bump_generation` lazily invalidates every
+    currently cached entry — entries are stamped with the generation they were
+    collected under, and a lookup drops (and counts in ``stale_drops``)
+    entries from an older generation.  Use it when collections mutate through
+    a channel the per-entry fingerprints cannot see.
+
     Thread safety: every operation takes an internal re-entrant lock, because
     the serving layer shares one cache across concurrent executor threads.
     :meth:`get_or_collect` holds the lock *through* collection, so two
@@ -89,12 +133,19 @@ class StatisticsCache:
     loser waits and hits.
     """
 
-    def __init__(self) -> None:
-        self._entries: dict[StatisticsKey, _CacheEntry] = {}
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None for unbounded)")
+        self._entries: OrderedDict[StatisticsKey, _CacheEntry] = OrderedDict()
         self._lock = threading.RLock()
+        self.max_entries = max_entries
+        self.generation = 0
         self.hits = 0
         self.misses = 0
         self.updates = 0
+        self.noop_updates = 0
+        self.evictions = 0
+        self.stale_drops = 0
 
     # ------------------------------------------------------------------ basics
     @staticmethod
@@ -137,6 +188,12 @@ class StatisticsCache:
             entry = self._entries.get(key)
             if entry is None:
                 return None
+            if getattr(entry, "generation", 0) != self.generation:
+                # Collected under an older generation; bump_generation() said
+                # every such entry can no longer be trusted.
+                del self._entries[key]
+                self.stale_drops += 1
+                return None
             for name, collection in collections.items():
                 stale = (
                     entry.sizes.get(name) != len(collection)
@@ -148,7 +205,9 @@ class StatisticsCache:
                 if stale:
                     # The dataset drifted without update(); drop the entry.
                     del self._entries[key]
+                    self.stale_drops += 1
                     return None
+            self._entries.move_to_end(key)
             return entry.statistics
 
     def get_or_collect(
@@ -176,8 +235,29 @@ class StatisticsCache:
                     name: _collection_checksum(collection)
                     for name, collection in collections.items()
                 },
+                generation=self.generation,
             )
+            self._evict_over_bound()
             return statistics, False
+
+    def _evict_over_bound(self) -> None:
+        """Evict least-recently-used entries past ``max_entries`` (lock held)."""
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def bump_generation(self) -> int:
+        """Lazily invalidate every currently cached entry; returns the new generation.
+
+        Entries are not dropped eagerly: the next lookup of each stale entry
+        drops it (counted in ``stale_drops``), so the call is O(1) no matter
+        how large the cache is.
+        """
+        with self._lock:
+            self.generation += 1
+            return self.generation
 
     # ----------------------------------------------------------------- updates
     def update(
@@ -194,13 +274,17 @@ class StatisticsCache:
         appended/removed), passing the same interval sequences.  Returns the
         number of entries maintained.
 
+        The ``updates`` counter counts only calls that maintained at least one
+        entry; calls whose names matched nothing cached land in
+        ``noop_updates`` instead, so counter-based assertions measure real
+        maintenance work.
+
         Note: inserted intervals outside an entry's original time range clamp to
         the border granules (like any out-of-range timestamp), so lookups after
         such an update treat the entry as stale unless the collection's range is
         unchanged.
         """
         with self._lock:
-            self.updates += 1
             maintained = 0
             for key, entry in self._entries.items():
                 names = set(key[0])
@@ -220,7 +304,27 @@ class StatisticsCache:
                         name, 0.0
                     ) - _intervals_checksum(intervals)
                 maintained += 1
+            if maintained:
+                self.updates += 1
+            else:
+                self.noop_updates += 1
             return maintained
+
+    # ------------------------------------------------------------------ report
+    def describe(self) -> dict[str, Any]:
+        """Flat counter summary (the serving ``stats`` verb reports this)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "updates": self.updates,
+                "noop_updates": self.noop_updates,
+                "evictions": self.evictions,
+                "stale_drops": self.stale_drops,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "generation": self.generation,
+            }
 
     # ------------------------------------------------------------- checkpoints
     def to_snapshot(self) -> dict[str, Any]:
@@ -234,11 +338,15 @@ class StatisticsCache:
             return {
                 "kind": _CACHE_SNAPSHOT_KIND,
                 "version": CHECKPOINT_VERSION,
-                "entries": copy.deepcopy(self._entries),
+                "entries": copy.deepcopy(dict(self._entries)),
+                "generation": self.generation,
                 "counters": {
                     "hits": self.hits,
                     "misses": self.misses,
                     "updates": self.updates,
+                    "noop_updates": self.noop_updates,
+                    "evictions": self.evictions,
+                    "stale_drops": self.stale_drops,
                 },
             }
 
@@ -247,11 +355,18 @@ class StatisticsCache:
         if not isinstance(snapshot, Mapping) or snapshot.get("kind") != _CACHE_SNAPSHOT_KIND:
             raise ValueError("not a statistics-cache snapshot")
         with self._lock:
-            self._entries = copy.deepcopy(dict(snapshot["entries"]))
+            self._entries = OrderedDict(copy.deepcopy(dict(snapshot["entries"])))
+            self.generation = snapshot.get("generation", 0)
             counters = snapshot.get("counters", {})
             self.hits = counters.get("hits", 0)
             self.misses = counters.get("misses", 0)
             self.updates = counters.get("updates", 0)
+            self.noop_updates = counters.get("noop_updates", 0)
+            self.evictions = counters.get("evictions", 0)
+            self.stale_drops = counters.get("stale_drops", 0)
+            # A snapshot from an unbounded (or larger) cache must still honour
+            # this cache's bound.
+            self._evict_over_bound()
 
     def refresh_fingerprints(
         self, collections: Mapping[str, IntervalCollection]
@@ -291,6 +406,13 @@ class ExecutionContext:
     context; see :meth:`stream_state`).  Streaming algorithms park their
     persistent top-k and incremental bookkeeping here so it lives exactly as
     long as the statistics cache it depends on."""
+    feedback: "PlanFeedback | None" = None
+    """Optional planner feedback bundle (:class:`~repro.plan.PlanFeedback`):
+    a plan cache memoizing whole auto plans plus an observed-cost store the
+    planner calibrates from.  ``None`` keeps planning purely static.  Shared
+    by reference across :meth:`session_view`\\ s, like the statistics cache —
+    and deliberately *not* checkpointed: memoized plans are derivable and the
+    cost store persists itself (JSON-lines appends) when given a path."""
     _owned_backend: ExecutionBackend | None = field(
         default=None, repr=False, compare=False
     )
@@ -353,10 +475,12 @@ class ExecutionContext:
         The snapshot captures the statistics cache and every per-stream
         evaluator state — everything a streaming evaluator needs to resume from
         the last committed batch after the process dies.  With ``path`` the
-        snapshot is additionally pickled to disk via an atomic
-        write-then-rename, so a crash *during* checkpointing leaves the
-        previous checkpoint intact.  Cluster shape and worker pools are *not*
-        captured: a restored context keeps its own.
+        snapshot is additionally pickled to disk via :func:`atomic_pickle_dump`
+        (unique staging sibling, then rename), so a crash *during*
+        checkpointing leaves the previous checkpoint intact and concurrent
+        checkpointers of one path never tear each other's staging file.
+        Cluster shape, worker pools and planner feedback are *not* captured: a
+        restored context keeps its own.
         """
         snapshot: dict[str, Any] = {
             "kind": CHECKPOINT_KIND,
@@ -368,12 +492,7 @@ class ExecutionContext:
             },
         }
         if path is not None:
-            path = Path(path)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            staging = path.with_name(path.name + ".tmp")
-            with open(staging, "wb") as handle:
-                pickle.dump(snapshot, handle)
-            os.replace(staging, path)
+            atomic_pickle_dump(path, snapshot)
         return snapshot
 
     def restore(self, source: "Mapping[str, Any] | str | Path") -> "ExecutionContext":

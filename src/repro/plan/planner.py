@@ -14,13 +14,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..core.operators import collections_by_name
 from ..core.statistics import DatasetStatistics
 from ..query.graph import RTJQuery
 from ..temporal.comparators import PredicateParams
 from .context import ExecutionContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .feedback import CostStore
 
 __all__ = ["AutoPlanner", "PlanExplanation"]
 
@@ -125,6 +128,16 @@ class AutoPlanner:
     replan_out_of_range_fraction: float = 0.25
     """Fraction of a batch outside the cached granule range that forces a replan
     (clamped border buckets inflate bounds and erode streaming selectivity)."""
+    cost_store: "CostStore | None" = None
+    """Optional observed-cost store (:class:`~repro.plan.CostStore`).  When it
+    holds enough observations for the query's workload fingerprint, learned
+    per-candidate kernel cost ratios replace the static
+    :attr:`vector_candidate_threshold`/:attr:`sweep_candidate_threshold`
+    heuristic; cold workloads fall back to the static rules.  The chosen
+    source is recorded in :attr:`PlanExplanation.reasons` either way."""
+    calibration_min_observations: int = 3
+    """Observations a kernel needs (per workload fingerprint) before its
+    observed cost participates in calibration — the cold-start threshold."""
 
     def plan(
         self, query: RTJQuery, context: ExecutionContext
@@ -144,13 +157,19 @@ class AutoPlanner:
         skew = _bucket_skew(statistics)
         reasons: list[str] = []
 
+        workload: str | None = None
+        if self.cost_store is not None:
+            from .feedback import workload_fingerprint
+
+            workload = workload_fingerprint(query, collections)
+
         num_granules, est_combos = self._choose_granularity(
             query, sizes, nonempty, skew, reasons
         )
         strategy = self._choose_strategy(query, est_combos, reasons)
         assigner = self._choose_assigner(query, skew, reasons)
         kernel, est_candidates = self._choose_kernel(
-            query, sizes, nonempty, num_granules, reasons
+            query, sizes, nonempty, num_granules, reasons, workload=workload
         )
         transfer = self._choose_transfer(context, kernel, reasons)
 
@@ -272,6 +291,7 @@ class AutoPlanner:
         nonempty: Mapping[str, int],
         num_granules: int,
         reasons: list[str],
+        workload: str | None = None,
     ) -> tuple[str, float]:
         """Pick the local-join kernel from the expected per-combination work.
 
@@ -299,6 +319,26 @@ class AutoPlanner:
             name = query.collections[vertex].name
             buckets = self._estimated_buckets(name, sizes, nonempty, num_granules)
             est_candidates *= sizes[name] / buckets
+        if workload is not None and self.cost_store is not None:
+            calibration = self.cost_store.calibrated_kernel(
+                workload, self.calibration_min_observations
+            )
+            if calibration is not None:
+                kernel, costs = calibration
+                ranking = ", ".join(
+                    f"{name}={costs[name]:.3g}s" for name in sorted(costs)
+                )
+                reasons.append(
+                    f"kernel={kernel}: observed calibration — lowest mean "
+                    f"per-candidate join cost over {len(costs)} observed kernels "
+                    f"({ranking}; >= {self.calibration_min_observations} "
+                    f"observations each for this workload fingerprint)"
+                )
+                return kernel, est_candidates
+            reasons.append(
+                "kernel cost model: static heuristic (cost store cold for this "
+                "workload fingerprint)"
+            )
         if (
             est_candidates >= self.sweep_candidate_threshold
             and query.k <= self.sweep_selectivity * est_candidates

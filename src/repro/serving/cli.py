@@ -129,6 +129,28 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "single mode does not checkpoint)"
         ),
     )
+    parser.add_argument(
+        "--stats-cache-entries",
+        type=_positive_int,
+        default=None,
+        help="bound the warm statistics cache to this many entries (LRU eviction)",
+    )
+    parser.add_argument(
+        "--plan-cache-entries",
+        type=int,
+        default=128,
+        help="bound the auto-plan cache per worker; 0 disables planner feedback",
+    )
+    parser.add_argument(
+        "--cost-store",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "observed-cost store (JSON lines) calibrating the auto planner; "
+            "in supervisor mode a directory holding one file per worker"
+        ),
+    )
     return parser
 
 
@@ -191,6 +213,9 @@ def _serve_supervised(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         drain_timeout=args.drain_timeout,
         default_deadline_ms=args.default_deadline_ms,
+        stats_cache_entries=args.stats_cache_entries,
+        plan_cache_entries=args.plan_cache_entries,
+        cost_store_dir=args.cost_store,
     )
 
     async def run() -> None:
@@ -253,6 +278,9 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         default_deadline_ms=args.default_deadline_ms,
         checkpoint_path=checkpoint_path,
         drain_timeout=args.drain_timeout,
+        stats_cache_entries=args.stats_cache_entries,
+        plan_cache_entries=args.plan_cache_entries,
+        cost_store_path=args.cost_store,
     )
     if checkpoint_path is not None and checkpoint_path.exists():
         try:

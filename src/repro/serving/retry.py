@@ -77,4 +77,6 @@ class RetryPolicy:
         if self.jitter == 0.0 or backoff == 0.0:
             return backoff
         spread = self.jitter * (_seeded_unit(self.seed, attempt) - 0.5)
-        return backoff * (1.0 + spread)
+        # Clamp after jittering: max_delay is a hard ceiling, so upward jitter
+        # on an already-capped backoff must not push the sleep past it.
+        return min(backoff * (1.0 + spread), self.max_delay)

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-import os
 import pickle
 import threading
 import time
@@ -48,6 +47,8 @@ from ..mapreduce import (
 )
 from ..plan import ExecutionContext, REGISTRY, get_algorithm
 from ..plan.algorithm import Algorithm, RunReport
+from ..plan.context import atomic_pickle_dump
+from ..plan.feedback import CostStore, PlanCache, PlanFeedback
 from ..query.graph import RTJQuery
 from ..streaming.collection import StreamingCollection
 from ..temporal.interval import IntervalCollection
@@ -137,8 +138,22 @@ class QueryServer:
         worker_id: int | None = None,
         checkpoint_path: str | Path | None = None,
         drain_timeout: float = 30.0,
+        stats_cache_entries: int | None = None,
+        plan_cache_entries: int | None = 128,
+        cost_store_path: str | Path | None = None,
     ) -> None:
         self.context = context if context is not None else ExecutionContext()
+        if stats_cache_entries is not None:
+            # Bound the warm statistics cache: LRU eviction past this many
+            # (collections, granularity) entries.
+            self.context.statistics.max_entries = stats_cache_entries
+        if plan_cache_entries and self.context.feedback is None:
+            # Attach the planner feedback loop: memoized auto plans plus the
+            # (optional, on-disk) observed-cost store.
+            self.context.feedback = PlanFeedback(
+                plan_cache=PlanCache(max_entries=plan_cache_entries),
+                cost_store=CostStore(cost_store_path) if cost_store_path else None,
+            )
         self.host = host
         self.port = port
         self.default_deadline_ms = default_deadline_ms
@@ -243,12 +258,7 @@ class QueryServer:
             "ingest_seqs": self._ingest_seqs,
         }
         if path is not None:
-            path = Path(path)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            staging = path.with_name(path.name + ".tmp")
-            with open(staging, "wb") as handle:
-                pickle.dump(snapshot, handle)
-            os.replace(staging, path)
+            atomic_pickle_dump(path, snapshot)
         return snapshot
 
     def restore_state(self, source: "Mapping[str, Any] | str | Path") -> "QueryServer":
@@ -612,15 +622,15 @@ class QueryServer:
                 "worker": self.worker_id,
                 "draining": self.draining,
                 "admission": self.admission.describe(),
-                "statistics_cache": {
-                    "hits": cache.hits,
-                    "misses": cache.misses,
-                    "updates": cache.updates,
-                    "entries": len(cache),
-                },
+                "statistics_cache": cache.describe(),
                 "collections": len(self.collections),
             }
         )
+        feedback = self.context.feedback
+        if feedback is not None:
+            payload["plan_cache"] = feedback.plan_cache.describe()
+            if feedback.cost_store is not None:
+                payload["cost_store"] = feedback.cost_store.describe()
         return payload
 
     async def _handle_collections(self, request: Mapping[str, Any], session_id: int) -> dict:

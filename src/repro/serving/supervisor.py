@@ -127,6 +127,9 @@ class ServerSupervisor:
         max_crashes: int = 5,
         crash_window: float = 30.0,
         ready_timeout: float = 20.0,
+        stats_cache_entries: int | None = None,
+        plan_cache_entries: int | None = 128,
+        cost_store_dir: str | Path | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
@@ -144,6 +147,9 @@ class ServerSupervisor:
         self.max_crashes = max_crashes
         self.crash_window = crash_window
         self.ready_timeout = ready_timeout
+        self.stats_cache_entries = stats_cache_entries
+        self.plan_cache_entries = plan_cache_entries
+        self.cost_store_dir = Path(cost_store_dir) if cost_store_dir else None
         self._owns_checkpoint_dir = checkpoint_dir is None
         if checkpoint_dir is None:
             self.checkpoint_dir = Path(tempfile.mkdtemp(prefix="repro-serve-ckpt-"))
@@ -260,6 +266,15 @@ class ServerSupervisor:
         ]
         if self.default_deadline_ms is not None:
             command += ["--default-deadline-ms", str(self.default_deadline_ms)]
+        if self.stats_cache_entries is not None:
+            command += ["--stats-cache-entries", str(self.stats_cache_entries)]
+        if self.plan_cache_entries is not None:
+            command += ["--plan-cache-entries", str(self.plan_cache_entries)]
+        if self.cost_store_dir is not None:
+            # One store file per worker: the append-only log is single-writer.
+            self.cost_store_dir.mkdir(parents=True, exist_ok=True)
+            store = self.cost_store_dir / f"worker-{handle.worker_id}.costs"
+            command += ["--cost-store", str(store)]
         # The spawned interpreter must import `repro` even when the parent got
         # it from a pytest pythonpath entry that does not propagate.
         package_root = Path(__file__).resolve().parents[2]

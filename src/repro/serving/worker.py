@@ -50,6 +50,21 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--drain-timeout", type=float, default=30.0)
     parser.add_argument("--default-deadline-ms", type=int, default=None)
     parser.add_argument(
+        "--stats-cache-entries",
+        type=int,
+        default=None,
+        help="bound the statistics cache to this many entries (LRU)",
+    )
+    parser.add_argument(
+        "--plan-cache-entries",
+        type=int,
+        default=128,
+        help="bound the auto-plan cache; 0 disables planner feedback",
+    )
+    parser.add_argument(
+        "--cost-store", default=None, help="observed-cost store file (JSON lines)"
+    )
+    parser.add_argument(
         "--parent-pid",
         type=int,
         default=None,
@@ -98,6 +113,9 @@ async def run_worker(args: argparse.Namespace) -> int:
         worker_id=args.worker_id,
         checkpoint_path=args.checkpoint,
         drain_timeout=args.drain_timeout,
+        stats_cache_entries=args.stats_cache_entries,
+        plan_cache_entries=args.plan_cache_entries,
+        cost_store_path=args.cost_store,
     )
     if args.checkpoint and Path(args.checkpoint).exists():
         try:

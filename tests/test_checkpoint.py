@@ -11,6 +11,7 @@ times may differ).
 from __future__ import annotations
 
 import pickle
+import threading
 
 import pytest
 from hypothesis import given, settings
@@ -154,6 +155,38 @@ class TestContextCheckpoint:
         assert not path.with_name(path.name + ".tmp").exists()
         with open(path, "rb") as handle:
             assert pickle.load(handle).keys() == snapshot.keys()
+
+    def test_concurrent_checkpoints_never_tear_the_file(self, tmp_path, stream_source):
+        # Regression: staging used to go through a fixed `<name>.tmp` sibling,
+        # so two concurrent checkpointers could interleave writes and persist
+        # a torn snapshot.  Per-writer staging names make every rename atomic:
+        # the target is always some writer's complete snapshot.
+        streams = staged_streams(stream_source, last=2, committed_prefix=0, first=0)
+        context = make_context()
+        evaluate(streams, context)
+        path = tmp_path / "raced.ckpt"
+        barrier = threading.Barrier(4)
+        errors: list[Exception] = []
+
+        def checkpointer():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(10):
+                    context.checkpoint(path)
+                    make_context().restore(path)  # always a complete snapshot
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=checkpointer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        make_context().restore(path)
+        # No staging siblings left behind (any `raced.ckpt.tmp*` name).
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "raced.ckpt"]
+        assert leftovers == []
 
     def test_statistics_cache_counters_survive(self, stream_source):
         streams = staged_streams(stream_source, last=2, committed_prefix=0, first=0)

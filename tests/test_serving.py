@@ -340,6 +340,62 @@ class TestWarmCache:
         assert stats["queries"]["statistics_cache_hits"] == 1
         assert first["results"] == second["results"]
 
+    def test_repeat_auto_queries_hit_the_plan_cache(self):
+        # The ISSUE's acceptance bar: replaying the same auto-planned query N
+        # times shows N-1 plan-cache hits with byte-identical results.
+        repeats = 4
+        server = QueryServer(plan_cache_entries=16)
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            register_collections(client, make_collections(size=80))
+            responses = [
+                client.query("Qo,m", list(NAMES), k=10, options={"mode": "auto"})
+                for _ in range(repeats)
+            ]
+            stats = client.stats()
+        assert stats["plan_cache"]["hits"] == repeats - 1
+        assert stats["plan_cache"]["misses"] == 1
+        assert stats["plan_cache"]["entries"] == 1
+        for response in responses[1:]:
+            assert response["results"] == responses[0]["results"]
+
+    def test_statistics_drift_misses_the_plan_cache(self):
+        server = QueryServer(plan_cache_entries=16)
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            register_collections(client, make_collections(size=80), streaming=True)
+            client.query("Qo,m", list(NAMES), k=10, options={"mode": "auto"})
+            # Ingest and commit (one streaming-evaluator tick): the dataset
+            # state — and with it the statistics fingerprint — moves.
+            client.ingest("R", [[90_000, 1.0, 2.0]], seq=1)
+            client.query("Qo,m", list(NAMES), k=10, algorithm="tkij-streaming")
+            client.query("Qo,m", list(NAMES), k=10, options={"mode": "auto"})
+            stats = client.stats()
+        # Only the two auto tkij plans consult the cache; both miss.
+        assert stats["plan_cache"]["misses"] == 2
+        assert stats["plan_cache"]["hits"] == 0
+
+    def test_statistics_cache_respects_configured_bound(self):
+        server = QueryServer(stats_cache_entries=2)
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            for batch in range(4):
+                names = [f"b{batch}{n}" for n in NAMES]
+                client.load(names, size=40, seed=batch)
+                client.query("Qo,m", names, k=5)
+            stats = client.stats()
+        assert stats["statistics_cache"]["entries"] <= 2
+        assert stats["statistics_cache"]["evictions"] >= 2
+        assert stats["statistics_cache"]["max_entries"] == 2
+
+    def test_cost_store_counters_surface_in_stats(self, tmp_path):
+        server = QueryServer(
+            plan_cache_entries=16, cost_store_path=tmp_path / "observed.costs"
+        )
+        with BackgroundServer(server) as (host, port), QueryClient(host, port) as client:
+            register_collections(client, make_collections(size=80))
+            client.query("Qo,m", list(NAMES), k=10, options={"mode": "auto"})
+            stats = client.stats()
+        assert stats["cost_store"]["recorded"] == 1
+        assert (tmp_path / "observed.costs").exists()
+
 
 # ----------------------------------------------------------- deadline handling
 class TestDeadlines:
@@ -596,6 +652,18 @@ class TestRetryPolicy:
     def test_negative_attempt_rejected(self):
         with pytest.raises(ValueError):
             RetryPolicy().delay(-1)
+
+    def test_jitter_never_pushes_a_capped_delay_past_max(self):
+        # Regression: jitter used to apply *after* capping, so a delay at the
+        # cap could come out up to jitter/2 above max_delay.
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=1.0, jitter=1.0)
+        for seed in range(50):
+            capped = RetryPolicy(
+                base_delay=1.0, multiplier=2.0, max_delay=1.0, jitter=1.0, seed=seed
+            )
+            for attempt in range(8):
+                assert capped.delay(attempt) <= capped.max_delay
+        assert policy.delay(0) <= 1.0
 
 
 class ScriptedServer:
